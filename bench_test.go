@@ -1,0 +1,132 @@
+package teleport_test
+
+import (
+	"io"
+	"testing"
+
+	"teleport/internal/bench"
+	"teleport/internal/mem"
+	"teleport/internal/sim"
+
+	"teleport"
+)
+
+// benchOpts keeps the full figure suite runnable in one `go test -bench=.`
+// invocation; cmd/teleport-bench regenerates the figures at the committed
+// EXPERIMENTS.md scale.
+func benchOpts() bench.Options {
+	return bench.Options{
+		Scale:     0.5,
+		GraphNV:   15000,
+		Words:     60000,
+		Seed:      1,
+		CacheFrac: 0.02,
+	}
+}
+
+// benchFigure runs one paper figure per iteration.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Run(id, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			tab.Fprint(io.Discard)
+		}
+	}
+}
+
+// One benchmark per evaluation figure/table (Figures 1a–22).
+func BenchmarkFig01a(b *testing.B) { benchFigure(b, "1a") }
+func BenchmarkFig01b(b *testing.B) { benchFigure(b, "1b") }
+func BenchmarkFig03(b *testing.B)  { benchFigure(b, "3") }
+func BenchmarkFig06(b *testing.B)  { benchFigure(b, "6") }
+func BenchmarkFig07(b *testing.B)  { benchFigure(b, "7") }
+func BenchmarkFig10(b *testing.B)  { benchFigure(b, "10") }
+func BenchmarkFig11(b *testing.B)  { benchFigure(b, "11") }
+func BenchmarkFig12(b *testing.B)  { benchFigure(b, "12") }
+func BenchmarkFig13(b *testing.B)  { benchFigure(b, "13") }
+func BenchmarkFig14(b *testing.B)  { benchFigure(b, "14") }
+func BenchmarkFig15(b *testing.B)  { benchFigure(b, "15") }
+func BenchmarkFig16(b *testing.B)  { benchFigure(b, "16") }
+func BenchmarkFig17(b *testing.B)  { benchFigure(b, "17") }
+func BenchmarkFig18(b *testing.B)  { benchFigure(b, "18") }
+func BenchmarkFig19(b *testing.B)  { benchFigure(b, "19") }
+func BenchmarkFig20(b *testing.B)  { benchFigure(b, "20") }
+func BenchmarkFig21(b *testing.B)  { benchFigure(b, "21") }
+func BenchmarkFig22(b *testing.B)  { benchFigure(b, "22") }
+
+// Simulator micro-benchmarks: the real-time cost of the building blocks.
+
+func BenchmarkPushdownCall(b *testing.B) {
+	m := teleport.NewDDCMachine(256 * teleport.PageSize)
+	p := m.NewProcess()
+	rt := teleport.NewRuntime(p, 1)
+	th := teleport.NewThread("bench")
+	a := p.Space.AllocPages(64*teleport.PageSize, "buf")
+	env := p.NewEnv(th)
+	for pg := 0; pg < 64; pg++ {
+		env.WriteI64(a+teleport.Addr(pg*teleport.PageSize), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Pushdown(th, func(env *teleport.Env) {
+			env.ReadI64(a)
+		}, teleport.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvSequentialRead(b *testing.B) {
+	m := teleport.NewLocalMachine()
+	p := m.NewProcess()
+	env := p.NewEnv(teleport.NewThread("bench"))
+	const size = 1 << 20
+	a := p.Space.AllocPages(size, "buf")
+	b.SetBytes(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.ReadU64(a + teleport.Addr(i*8%size))
+	}
+}
+
+func BenchmarkEnvRandomReadDDC(b *testing.B) {
+	m := teleport.NewDDCMachine(128 * teleport.PageSize)
+	p := m.NewProcess()
+	env := p.NewEnv(teleport.NewThread("bench"))
+	const size = 8 << 20
+	a := p.Space.AllocPages(size, "buf")
+	x := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1
+		env.ReadU64(a + teleport.Addr(x%(size/8))*8)
+	}
+}
+
+func BenchmarkSchedulerSwitch(b *testing.B) {
+	s := sim.NewScheduler()
+	s.SetQuantum(0)
+	n := b.N
+	for t := 0; t < 2; t++ {
+		s.Spawn("t", 0, func(th *sim.Thread) {
+			for i := 0; i < n; i++ {
+				th.Advance(1)
+			}
+		})
+	}
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkPageTableEnsureLookup(b *testing.B) {
+	pt := mem.NewPageTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Ensure(mem.PageID(i % 4096)).Dirty = true
+		pt.Lookup(mem.PageID(i % 4096))
+	}
+}

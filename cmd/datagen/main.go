@@ -1,0 +1,58 @@
+// Command datagen generates the synthetic datasets (the TPC-H-style
+// database, the power-law graph, the Zipf text corpus) and prints their
+// shapes — useful for sizing experiments before running them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"teleport/internal/coldb"
+	"teleport/internal/ddc"
+	"teleport/internal/graph"
+	"teleport/internal/mapreduce"
+	"teleport/internal/tpch"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "tpch", "tpch | graph | corpus")
+		scale = flag.Float64("scale", 2, "TPC-H micro scale factor")
+		nv    = flag.Int("nv", 60000, "graph vertices")
+		deg   = flag.Int("deg", 6, "graph average degree")
+		words = flag.Int("words", 250000, "corpus tokens")
+		vocab = flag.Int("vocab", 4000, "corpus vocabulary")
+		seed  = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	m := ddc.MustMachine(ddc.Linux())
+	p := m.NewProcess()
+	switch *kind {
+	case "tpch":
+		d := tpch.Load(coldb.NewDB(p), tpch.Config{Scale: *scale, Seed: *seed})
+		fmt.Printf("TPC-H micro scale %g:\n", *scale)
+		fmt.Printf("  lineitem %d, orders %d, customer %d, part %d, supplier %d, partsupp %d\n",
+			d.L, d.O, d.C, d.P, d.S, d.PS)
+		fmt.Printf("  database bytes: %d (%.1f MB), pages: %d\n",
+			d.DB.Bytes(), float64(d.DB.Bytes())/(1<<20), p.Space.Pages())
+		for _, name := range d.DB.Tables() {
+			t := d.DB.Table(name)
+			fmt.Printf("  table %-10s rows=%-8d cols=%v\n", name, t.N, t.Columns())
+		}
+	case "graph":
+		g, _ := graph.Generate(p, graph.GenConfig{NV: *nv, AvgDegree: *deg, Seed: *seed})
+		fmt.Printf("graph: %d vertices, %d edges, %.1f MB CSR, %d pages allocated\n",
+			g.NV, g.NE, float64(g.Bytes())/(1<<20), p.Space.Pages())
+	case "corpus":
+		c, _ := mapreduce.GenerateCorpus(p, mapreduce.CorpusConfig{
+			Words: *words, Vocab: *vocab, Seed: *seed,
+		})
+		fmt.Printf("corpus: %d bytes (%.1f MB), %d lines, vocab %d\n",
+			c.Len, float64(c.Len)/(1<<20), c.Lines, c.Vocab)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -kind %q (tpch | graph | corpus)\n", *kind)
+		os.Exit(1)
+	}
+}

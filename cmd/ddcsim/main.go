@@ -1,0 +1,68 @@
+// Command ddcsim runs one of the paper's eight workloads on a chosen
+// platform and prints the per-operator profile — handy for exploring how a
+// workload's operators behave as the platform changes.
+//
+// Usage:
+//
+//	ddcsim -workload Q9 -platform base-ddc
+//	ddcsim -workload SSSP -platform teleport -scale 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"teleport/internal/bench"
+)
+
+func main() {
+	defaults := bench.Defaults()
+	var (
+		workload  = flag.String("workload", "Q6", "one of "+strings.Join(bench.WorkloadNames(), ", "))
+		platform  = flag.String("platform", "base-ddc", "one of "+strings.Join(bench.PlatformNames(), ", "))
+		scale     = flag.Float64("scale", defaults.Scale, "TPC-H micro scale factor")
+		graphNV   = flag.Int("graph-nv", defaults.GraphNV, "graph vertex count")
+		words     = flag.Int("words", defaults.Words, "corpus tokens")
+		seed      = flag.Int64("seed", defaults.Seed, "generator seed")
+		cacheFrac = flag.Float64("cache-frac", defaults.CacheFrac, "compute cache fraction")
+		traceN    = flag.Int("trace", 0, "dump the last N paging/coherence/pushdown events")
+		advise    = flag.Bool("advise", false, "profile on the base DDC and print the advisor's pushdown decisions")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Scale: *scale, GraphNV: *graphNV, Words: *words,
+		Seed: *seed, CacheFrac: *cacheFrac, TraceCap: *traceN,
+	}
+	if *advise {
+		decisions, err := bench.Advise(*workload, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("advisor decisions for %s (profiled on the base DDC):\n", *workload)
+		for _, dec := range decisions {
+			fmt.Println(" ", dec)
+		}
+		return
+	}
+	res, err := bench.RunWorkload(*workload, *platform, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %s: %.6f s (virtual)\n\n", res.Workload, res.Platform, res.Seconds)
+	fmt.Printf("  %-14s %12s %10s %12s %8s\n", "operator", "time(s)", "calls", "remote(KB)", "pushed")
+	for _, o := range res.Profile {
+		fmt.Printf("  %-14s %12.6f %10d %12.1f %8v\n",
+			o.Name, o.Time.Seconds(), o.Calls, float64(o.RemoteByte)/1024, o.Pushed)
+	}
+	if len(res.Trace) > 0 {
+		fmt.Printf("\nlast %d events:\n", len(res.Trace))
+		for _, e := range res.Trace {
+			fmt.Println(" ", e)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command teleport-bench regenerates the paper's evaluation figures and
+// tables (Figures 1a–22) on the simulated disaggregated data center.
+//
+// Usage:
+//
+//	teleport-bench                      # regenerate every figure
+//	teleport-bench -fig 13              # one figure
+//	teleport-bench -fig 6,7,20          # several
+//	teleport-bench -scale 4 -seed 7     # bigger workloads
+//
+// Output is the same rows/series the paper reports; absolute values reflect
+// the scaled-down datasets (see DESIGN.md's scale rule and EXPERIMENTS.md
+// for the committed paper-vs-measured record).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"teleport/internal/bench"
+)
+
+func main() {
+	defaults := bench.Defaults()
+	var (
+		fig       = flag.String("fig", "all", "figure id(s), comma separated, or 'all'")
+		scale     = flag.Float64("scale", defaults.Scale, "TPC-H micro scale factor (lineitem = 60000*scale rows)")
+		graphNV   = flag.Int("graph-nv", defaults.GraphNV, "graph vertex count")
+		words     = flag.Int("words", defaults.Words, "MapReduce corpus size in tokens")
+		seed      = flag.Int64("seed", defaults.Seed, "generator seed")
+		cacheFrac = flag.Float64("cache-frac", defaults.CacheFrac, "compute-local cache as a fraction of the working set")
+		list      = flag.Bool("list", false, "list figure ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Figures(), " "))
+		return
+	}
+	opts := bench.Options{
+		Scale:     *scale,
+		GraphNV:   *graphNV,
+		Words:     *words,
+		Seed:      *seed,
+		CacheFrac: *cacheFrac,
+	}
+	fmt.Printf("# teleport-bench scale=%g graph-nv=%d words=%d seed=%d cache-frac=%g\n\n",
+		opts.Scale, opts.GraphNV, opts.Words, opts.Seed, opts.CacheFrac)
+
+	if *fig == "all" {
+		for _, t := range bench.RunAll(opts) {
+			t.Fprint(os.Stdout)
+		}
+		return
+	}
+	for _, id := range strings.Split(*fig, ",") {
+		t, err := bench.Run(strings.TrimSpace(id), opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+	}
+}

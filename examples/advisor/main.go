@@ -1,0 +1,68 @@
+// Advisor: the paper's future work (§5.1/§7.4), implemented. A DBA-style
+// flow: profile TPC-H Q9 on the base DDC, let the advisor decide which
+// operators to Teleport from the profiled memory intensity (RM/s) and the
+// hardware cost model, then run with that plan and compare against the base
+// DDC and against pushing everything.
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+
+	"teleport"
+	"teleport/internal/advisor"
+	"teleport/internal/coldb"
+	"teleport/internal/profile"
+	"teleport/internal/tpch"
+)
+
+func main() {
+	load := func(m *teleport.Machine) (*tpch.Data, *teleport.Process) {
+		p := m.NewProcess()
+		d := tpch.Load(coldb.NewDB(p), tpch.Config{Scale: 2, Seed: 1})
+		p.ResizeCache(d.DB.Bytes() / 50)
+		return d, p
+	}
+	runQ9 := func(push []string) teleport.Time {
+		d, p := load(teleport.NewDDCMachine(1 << 20))
+		var rt *teleport.Runtime
+		if len(push) > 0 {
+			rt = teleport.NewRuntime(p, 1)
+		}
+		ex := profile.NewExec(teleport.NewThread("q9"), d.DB.P, rt)
+		ex.Push(push...)
+		tpch.Q9(ex, d, tpch.GreenPart)
+		return ex.Total()
+	}
+
+	// 1) Profiling run on the base DDC.
+	d, p := load(teleport.NewDDCMachine(1 << 20))
+	ex := profile.NewExec(teleport.NewThread("profile"), d.DB.P, nil)
+	tpch.Q9(ex, d, tpch.GreenPart)
+	prof := ex.Profile()
+
+	// 2) The advisor prices each operator against the hardware model.
+	cfg := advisor.DefaultConfig()
+	cfg.TableEntries = p.Space.Pages()
+	hwCfg := teleport.Testbed()
+	chosen, decisions := advisor.Recommend(prof, cfg, &hwCfg)
+	fmt.Println("advisor decisions (profiled on the base DDC):")
+	for _, dec := range decisions {
+		fmt.Println(" ", dec)
+	}
+
+	// 3) Execute the advised plan.
+	base := runQ9(nil)
+	advised := runQ9(chosen)
+	everything := make([]string, 0, len(prof))
+	for _, o := range prof {
+		everything = append(everything, o.Name)
+	}
+	all := runQ9(everything)
+
+	fmt.Printf("\nQ9 base DDC:        %v\n", base)
+	fmt.Printf("Q9 advisor plan:    %v (%.1fx, %d of %d operators pushed)\n",
+		advised, float64(base)/float64(advised), len(chosen), len(prof))
+	fmt.Printf("Q9 push everything: %v (%.1fx)\n", all, float64(base)/float64(all))
+}

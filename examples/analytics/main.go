@@ -1,0 +1,62 @@
+// Analytics: the paper's DBMS scenario (§5.1). A TPC-H-style database lives
+// in disaggregated memory; Q6 runs on three platforms — local, base DDC,
+// TELEPORT with pushed operators — producing identical answers at very
+// different costs, with a per-operator profile like Figure 10.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+
+	"teleport"
+	"teleport/internal/coldb"
+	"teleport/internal/profile"
+	"teleport/internal/tpch"
+)
+
+func main() {
+	type result struct {
+		name   string
+		sum    float64
+		time   teleport.Time
+		ostats []profile.OpStat
+	}
+	runOn := func(name string, m *teleport.Machine, push bool) result {
+		p := m.NewProcess()
+		d := tpch.Load(coldb.NewDB(p), tpch.Config{Scale: 2, Seed: 1})
+		if m.Cfg.Disaggregated {
+			// Cache = 2% of the database, the paper's 1 GB : 50 GB ratio.
+			p.ResizeCache(d.DB.Bytes() / 50)
+		}
+		th := teleport.NewThread(name)
+		var rt *teleport.Runtime
+		if push {
+			rt = teleport.NewRuntime(p, 1)
+		}
+		ex := profile.NewExec(th, p, rt)
+		if push {
+			ex.Push(tpch.OpSelection, tpch.OpExpression, tpch.OpAggregation)
+		}
+		sum := tpch.Q6(ex, d, 730)
+		return result{name: name, sum: sum, time: ex.Total(), ostats: ex.Profile()}
+	}
+
+	results := []result{
+		runOn("local execution", teleport.NewLocalMachine(), false),
+		runOn("base DDC", teleport.NewDDCMachine(1<<20), false),
+		runOn("TELEPORT", teleport.NewDDCMachine(1<<20), true),
+	}
+	fmt.Println("TPC-H Q6 (forecast revenue change), scale 2:")
+	for _, r := range results {
+		fmt.Printf("  %-16s revenue=%.2f  time=%v\n", r.name, r.sum, r.time)
+	}
+	fmt.Printf("\nTELEPORT speedup over base DDC: %.1fx\n",
+		float64(results[1].time)/float64(results[2].time))
+
+	fmt.Println("\nper-operator profile on the base DDC:")
+	for _, o := range results[1].ostats {
+		fmt.Printf("  %-12s %10v  remote=%6.1f KB\n",
+			o.Name, o.Time, float64(o.RemoteByte)/1024)
+	}
+}

@@ -1,0 +1,65 @@
+// MapReduce: the paper's Phoenix scenario (§5.3). WordCount over a
+// Zipf-distributed corpus in disaggregated memory; only the data-intensive
+// map-shuffle sub-phase is Teleported (28 lines of pushed code in the
+// paper; similarly small here — see Figure 11 / internal/loc).
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+
+	"teleport"
+	"teleport/internal/mapreduce"
+	"teleport/internal/profile"
+)
+
+func main() {
+	run := func(name string, m *teleport.Machine, push bool) ([]mapreduce.KV, teleport.Time) {
+		p := m.NewProcess()
+		c, _ := mapreduce.GenerateCorpus(p, mapreduce.CorpusConfig{
+			Words: 250000, Vocab: 4000, Seed: 5,
+		})
+		if m.Cfg.Disaggregated {
+			p.ResizeCache(p.Space.Allocated() / 20)
+		}
+		eng := mapreduce.NewEngine(c, mapreduce.WordCount{}, 4, 8)
+		th := teleport.NewThread(name)
+		var rt *teleport.Runtime
+		if push {
+			rt = teleport.NewRuntime(p, 1)
+		}
+		ex := profile.NewExec(th, p, rt)
+		if push {
+			ex.Push(mapreduce.OpMapShuffle)
+		}
+		eng.Run(ex)
+		fmt.Printf("  %-10s distinct-words=%-6d time=%v\n", name, len(eng.Results()), ex.Total())
+		return eng.Results(), ex.Total()
+	}
+
+	fmt.Println("WordCount over a 250k-token corpus:")
+	resL, tL := run("local", teleport.NewLocalMachine(), false)
+	resB, tB := run("base-ddc", teleport.NewDDCMachine(1<<20), false)
+	resT, tT := run("teleport", teleport.NewDDCMachine(1<<20), true)
+
+	for i := range resL {
+		if resL[i] != resB[i] || resL[i] != resT[i] {
+			panic("platforms disagree")
+		}
+	}
+	fmt.Printf("\ncost of scaling: base %.1fx, TELEPORT %.1fx (speedup %.1fx)\n",
+		float64(tB)/float64(tL), float64(tT)/float64(tL), float64(tB)/float64(tT))
+	fmt.Println("\ntop five words:")
+	top := append([]mapreduce.KV(nil), resL...)
+	for i := 0; i < 5 && i < len(top); i++ {
+		best := i
+		for j := i + 1; j < len(top); j++ {
+			if top[j].V > top[best].V {
+				best = j
+			}
+		}
+		top[i], top[best] = top[best], top[i]
+		fmt.Printf("  w%-6d %d occurrences\n", top[i].K, top[i].V)
+	}
+}

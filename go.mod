@@ -1,0 +1,3 @@
+module teleport
+
+go 1.22

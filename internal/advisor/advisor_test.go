@@ -1,0 +1,90 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"teleport/internal/hw"
+	"teleport/internal/profile"
+	"teleport/internal/sim"
+)
+
+func mkOp(name string, t sim.Time, msgs int64) profile.OpStat {
+	return profile.OpStat{Name: name, Time: t, RemoteMsgs: msgs, Calls: 1}
+}
+
+func TestThresholdRule(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThresholdRMps = 80_000
+	hwCfg := hw.Testbed()
+	prof := []profile.OpStat{
+		mkOp("hot", sim.Second, 200_000), // 200K RM/s
+		mkOp("cold", sim.Second, 10_000), // 10K RM/s
+	}
+	push, decisions := Recommend(prof, cfg, &hwCfg)
+	if len(push) != 1 || push[0] != "hot" {
+		t.Fatalf("push = %v", push)
+	}
+	if len(decisions) != 2 || !decisions[0].Push || decisions[1].Push {
+		t.Fatalf("decisions = %+v", decisions)
+	}
+	if !strings.Contains(decisions[0].String(), "push hot") {
+		t.Fatalf("decision string: %s", decisions[0])
+	}
+}
+
+func TestCostModelPushesMemoryBoundOps(t *testing.T) {
+	cfg := DefaultConfig()
+	hwCfg := hw.Testbed()
+	// An operator that spent nearly all its time waiting on 50k remote
+	// faults: pushing saves almost everything.
+	memBound := mkOp("probe", 200*sim.Millisecond, 100_000)
+	// A pure-CPU operator with a handful of faults: pushing pays the clock
+	// ratio for nothing (make the memory pool slower so it matters).
+	hwCfg.MemoryClockGHz = 1.05
+	cpuBound := mkOp("eval", 200*sim.Millisecond, 10)
+
+	push, _ := Recommend([]profile.OpStat{memBound, cpuBound}, cfg, &hwCfg)
+	if len(push) != 1 || push[0] != "probe" {
+		t.Fatalf("push = %v", push)
+	}
+}
+
+func TestEstimateSavingSigns(t *testing.T) {
+	cfg := DefaultConfig()
+	hwCfg := hw.Testbed()
+	if EstimateSaving(mkOp("x", 100*sim.Millisecond, 20_000), cfg, &hwCfg) <= 0 {
+		t.Fatal("heavily remote operator must have positive estimated saving")
+	}
+	hwCfg.MemoryClockGHz = 0.4
+	if EstimateSaving(mkOp("y", 100*sim.Millisecond, 2), cfg, &hwCfg) >= 0 {
+		t.Fatal("CPU-bound operator on a slow memory pool must have negative saving")
+	}
+}
+
+func TestTableEntriesChargeOverhead(t *testing.T) {
+	cfg := DefaultConfig()
+	hwCfg := hw.Testbed()
+	op := mkOp("small", sim.Millisecond, 400)
+	without := EstimateSaving(op, cfg, &hwCfg)
+	cfg.TableEntries = 10_000_000 // a huge page table makes setup dominate
+	with := EstimateSaving(op, cfg, &hwCfg)
+	if with >= without {
+		t.Fatalf("table-clone overhead ignored: %v vs %v", with, without)
+	}
+}
+
+func TestDecisionsSortedByIntensity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ThresholdRMps = 1
+	hwCfg := hw.Testbed()
+	prof := []profile.OpStat{
+		mkOp("low", sim.Second, 100),
+		mkOp("high", sim.Second, 100_000),
+		mkOp("mid", sim.Second, 10_000),
+	}
+	_, decisions := Recommend(prof, cfg, &hwCfg)
+	if decisions[0].Operator != "high" || decisions[2].Operator != "low" {
+		t.Fatalf("order = %v", decisions)
+	}
+}

@@ -1,0 +1,169 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7, Figures 1, 3, 6, 7, 10–22). Each runner builds the
+// platforms it compares — monolithic Linux, Linux with an NVMe swap path,
+// the base DDC (LegoOS stand-in), and TELEPORT — runs the workload on each,
+// and emits the same rows or series the paper reports. Absolute numbers
+// reflect the scaled-down datasets; the shapes (who wins, by what factor,
+// where crossovers fall) are the reproduction targets, recorded in
+// EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"teleport/internal/ddc"
+	"teleport/internal/mem"
+	"teleport/internal/sim"
+)
+
+// Options holds the workload knobs shared by all figures.
+type Options struct {
+	// Scale is the TPC-H micro scale factor (lineitem = 60,000·Scale).
+	Scale float64
+	// GraphNV is the graph vertex count.
+	GraphNV int
+	// Words is the MapReduce corpus token count.
+	Words int
+	// Seed drives all generators.
+	Seed int64
+	// CacheFrac sizes the compute-local cache as a fraction of the loaded
+	// working set (the paper's 1 GB against a 50 GB database ≈ 2%).
+	CacheFrac float64
+	// TraceCap, when positive, attaches an event ring of that capacity to
+	// the machine (see internal/trace); RunWorkload returns its contents.
+	TraceCap int
+}
+
+// Defaults returns the options used by the committed EXPERIMENTS.md run.
+func Defaults() Options {
+	return Options{
+		Scale:     2,
+		GraphNV:   60000,
+		Words:     250000,
+		Seed:      1,
+		CacheFrac: 0.02,
+	}
+}
+
+// Table is one figure's regenerated output.
+type Table struct {
+	Figure string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.Figure, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// Runner regenerates one figure.
+type Runner func(opts Options) *Table
+
+// registry maps figure ids ("1a", "13", ...) to runners.
+var registry = map[string]Runner{}
+
+var registryOrder []string
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("bench: duplicate figure " + id)
+	}
+	registry[id] = r
+	registryOrder = append(registryOrder, id)
+}
+
+// Figures returns the registered figure ids in registration order.
+func Figures() []string { return append([]string(nil), registryOrder...) }
+
+// Run regenerates one figure by id.
+func Run(id string, opts Options) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		sorted := Figures()
+		sort.Strings(sorted)
+		return nil, fmt.Errorf("bench: unknown figure %q (have %s)", id, strings.Join(sorted, ", "))
+	}
+	return r(opts), nil
+}
+
+// RunAll regenerates every figure in order.
+func RunAll(opts Options) []*Table {
+	out := make([]*Table, 0, len(registryOrder))
+	for _, id := range registryOrder {
+		out = append(out, registry[id](opts))
+	}
+	return out
+}
+
+// cacheBytes sizes the compute cache for a working set, honouring a sane
+// floor (a cache below a handful of pages is thrashing noise, not a
+// platform).
+func cacheBytes(workingSet int64, frac float64) int64 {
+	b := int64(float64(workingSet) * frac)
+	if min := int64(48 * mem.PageSize); b < min {
+		b = min
+	}
+	return b
+}
+
+// ddcWithCache returns a BaseDDC config with the cache sized to the
+// workload.
+func ddcWithCache(workingSet int64, frac float64) ddc.Config {
+	return ddc.BaseDDC(cacheBytes(workingSet, frac))
+}
+
+// fm formats a virtual duration in seconds with 3 decimals.
+func fm(t sim.Time) string { return fmt.Sprintf("%.4f", t.Seconds()) }
+
+// fx formats a ratio like "12.3x".
+func fx(r float64) string { return fmt.Sprintf("%.1fx", r) }
+
+// ratio guards divide-by-zero.
+func ratio(num, den sim.Time) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

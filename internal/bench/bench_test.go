@@ -1,0 +1,363 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smallOpts keeps the figure regressions fast.
+func smallOpts() Options {
+	return Options{
+		Scale:     0.5,
+		GraphNV:   15000,
+		Words:     60000,
+		Seed:      1,
+		CacheFrac: 0.02,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"1a", "1b", "3", "6", "7", "10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20", "21", "22", "A1", "A2", "A3", "A4", "A5"}
+	have := map[string]bool{}
+	for _, id := range Figures() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("figure %s not registered", id)
+		}
+	}
+	if len(have) != len(want) {
+		t.Errorf("registered %d figures, want %d", len(have), len(want))
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("99", smallOpts()); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{
+		Figure: "Fig X", Title: "demo",
+		Header: []string{"a", "long-header"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"Fig X", "demo", "long-header", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// parse a "12.3x" cell.
+func parseX(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad ratio cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// parse a "0.123" seconds cell.
+func parseS(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("bad seconds cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig6Ordering(t *testing.T) {
+	tab, err := Run("6", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	times := map[string]float64{}
+	for _, r := range tab.Rows {
+		times[r[0]] = parseS(t, r[1])
+	}
+	// The paper's ordering: local < coherence < per-thread < per-process <
+	// base DDC.
+	if !(times["Local execution"] < times["TELEPORT (coherence)"] &&
+		times["TELEPORT (coherence)"] < times["TELEPORT (per thread)"] &&
+		times["TELEPORT (per thread)"] < times["TELEPORT (per process)"] &&
+		times["TELEPORT (per process)"] < times["Base DDC"]) {
+		t.Fatalf("Figure 6 ordering broken: %v", times)
+	}
+}
+
+func TestFig7SyncmemBeatsCoherenceUnderFalseSharing(t *testing.T) {
+	tab, err := Run("7", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coh, syn float64
+	for _, r := range tab.Rows {
+		switch r[0] {
+		case "TELEPORT (coherence)":
+			coh = parseX(t, r[2])
+		case "TELEPORT (syncmem)":
+			syn = parseX(t, r[2])
+		}
+	}
+	if !(syn > coh && coh > 1) {
+		t.Fatalf("false-sharing shape broken: coherence %.1fx, syncmem %.1fx", coh, syn)
+	}
+}
+
+func TestFig20EagerDominatedByPrePost(t *testing.T) {
+	tab, err := Run("20", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	eager, onDemand := tab.Rows[0], tab.Rows[1]
+	if parseS(t, eager[7]) <= 3*parseS(t, onDemand[7]) {
+		t.Fatalf("eager overhead (%s) must dwarf on-demand (%s)", eager[7], onDemand[7])
+	}
+	// On-demand is dominated by context setup (column 3), eager by pre+post.
+	if parseS(t, onDemand[3]) <= parseS(t, onDemand[1]) {
+		t.Fatal("on-demand setup should dominate its pre-sync")
+	}
+	if parseS(t, eager[1])+parseS(t, eager[6]) <= parseS(t, eager[3]) {
+		t.Fatal("eager pre+post should dominate its setup")
+	}
+}
+
+func TestFig22RelaxedIsFlat(t *testing.T) {
+	tab, err := Run("22", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	defFirst, _ := strconv.ParseInt(first[1], 10, 64)
+	defLast, _ := strconv.ParseInt(last[1], 10, 64)
+	relFirst, _ := strconv.ParseInt(first[2], 10, 64)
+	relLast, _ := strconv.ParseInt(last[2], 10, 64)
+	if defLast <= defFirst {
+		t.Fatalf("default coherence messages must grow with contention: %d → %d", defFirst, defLast)
+	}
+	if relLast != relFirst {
+		t.Fatalf("relaxed coherence messages must stay flat: %d → %d", relFirst, relLast)
+	}
+}
+
+func TestFig12TeleportBeatsBasePerOperator(t *testing.T) {
+	tab, err := Run("12", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if parseX(t, r[4]) <= 1 {
+			t.Fatalf("operator %s: pushdown did not beat base DDC (%s)", r[0], r[4])
+		}
+	}
+}
+
+func TestFig13AllWorkloadsBenefit(t *testing.T) {
+	tab, err := Run("13", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want the 8 workloads", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		base := parseX(t, r[2])
+		tele := parseX(t, r[3])
+		speedup := parseX(t, r[4])
+		if base < 1 {
+			t.Errorf("%s: base DDC faster than local (%.1fx)", r[1], base)
+		}
+		if tele > base {
+			t.Errorf("%s: TELEPORT slower than base DDC", r[1])
+		}
+		if speedup < 1 {
+			t.Errorf("%s: no speedup (%.1fx)", r[1], speedup)
+		}
+	}
+}
+
+func TestFig16SpeedupMonotoneInClock(t *testing.T) {
+	tab, err := Run("16", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, r := range tab.Rows {
+		s := parseX(t, r[2])
+		if s < prev {
+			t.Fatalf("speedup decreased with higher memory clock: %v", tab.Rows)
+		}
+		prev = s
+	}
+	first := parseX(t, tab.Rows[0][2])
+	if first <= 1 {
+		t.Fatalf("even a throttled memory pool should win (%.1fx)", first)
+	}
+}
+
+func TestFig17SpeedupGrowsWithContexts(t *testing.T) {
+	tab, err := Run("17", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := parseX(t, tab.Rows[0][2])
+	two := parseX(t, tab.Rows[1][2])
+	four := parseX(t, tab.Rows[3][2])
+	if one != 1.0 {
+		t.Fatalf("first row must be the baseline, got %.1fx", one)
+	}
+	if two < 1.5 {
+		t.Fatalf("two contexts on two cores should near-double throughput (%.1fx)", two)
+	}
+	// Diminishing returns: 4 contexts gains less than 2× over 2 contexts.
+	if four/two > 1.9 {
+		t.Fatalf("no diminishing returns: 2ctx %.1fx, 4ctx %.1fx", two, four)
+	}
+}
+
+func TestRunWorkloadPublicAPI(t *testing.T) {
+	opts := smallOpts()
+	res, err := RunWorkload("Q6", "base-ddc", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || len(res.Profile) == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if _, err := RunWorkload("Q6", "nope", opts); err == nil {
+		t.Fatal("bad platform accepted")
+	}
+	if _, err := RunWorkload("nope", "local", opts); err == nil {
+		t.Fatal("bad workload accepted")
+	}
+	if len(WorkloadNames()) != 11 || len(PlatformNames()) != 5 {
+		t.Fatal("name lists wrong")
+	}
+	// The advisor-backed platform must run end to end.
+	auto, err := RunWorkload("Q6", "teleport-auto", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Seconds >= res.Seconds {
+		t.Fatalf("teleport-auto (%.4fs) should beat base-ddc (%.4fs)", auto.Seconds, res.Seconds)
+	}
+}
+
+func TestCacheBytesFloor(t *testing.T) {
+	if cacheBytes(1<<30, 0.02) != (1<<30)/50 {
+		t.Fatal("fraction not applied")
+	}
+	if cacheBytes(100, 0.02) < 48*4096 {
+		t.Fatal("floor not applied")
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	o := Defaults()
+	if o.Scale <= 0 || o.GraphNV <= 0 || o.Words <= 0 || o.CacheFrac <= 0 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+func TestExtA3RLEGrowsWithCache(t *testing.T) {
+	tab, err := Run("A3", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, r := range tab.Rows {
+		red := parseX(t, r[4])
+		if red < prev {
+			t.Fatalf("RLE reduction should grow with the cache: %v", tab.Rows)
+		}
+		prev = red
+	}
+}
+
+func TestExtA4PrefetchPlateausBelowTeleport(t *testing.T) {
+	tab, err := Run("A4", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows
+	bestPrefetch := 0.0
+	for _, r := range rows[:len(rows)-1] {
+		if v := parseX(t, r[2]); v > bestPrefetch {
+			bestPrefetch = v
+		}
+	}
+	tele := parseX(t, rows[len(rows)-1][2])
+	if tele <= bestPrefetch {
+		t.Fatalf("TELEPORT (%.1fx) must beat the best prefetch depth (%.1fx)", tele, bestPrefetch)
+	}
+}
+
+func TestExtA2SpeedupShrinksWithFasterFabric(t *testing.T) {
+	tab, err := Run("A2", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, r := range tab.Rows {
+		s := parseX(t, r[5])
+		if s > prev {
+			t.Fatalf("speedup should not grow on faster fabrics: %v", tab.Rows)
+		}
+		if s <= 1 {
+			t.Fatalf("pushdown must still win on %s", r[0])
+		}
+		prev = s
+	}
+}
+
+func TestTraceCapReturnsEvents(t *testing.T) {
+	opts := smallOpts()
+	opts.TraceCap = 32
+	res, err := RunWorkload("Q6", "teleport", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("expected trace events")
+	}
+}
+
+// TestEveryFigureRunsAtTinyScale smoke-tests every registered runner,
+// including the slow sweeps, at a minimal scale (skipped with -short).
+func TestEveryFigureRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: regenerates every figure")
+	}
+	tiny := Options{Scale: 0.2, GraphNV: 4000, Words: 15000, Seed: 1, CacheFrac: 0.02}
+	for _, id := range Figures() {
+		tab, err := Run(id, tiny)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("figure %s produced no rows", id)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) && len(row) != 0 {
+				t.Fatalf("figure %s row width %d vs header %d", id, len(row), len(tab.Header))
+			}
+		}
+	}
+}

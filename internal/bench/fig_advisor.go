@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"strings"
+
+	"teleport/internal/advisor"
+	"teleport/internal/hw"
+)
+
+func init() {
+	register("A1", figAdvisor)
+}
+
+// figAdvisor is an extension beyond the paper: §5.1/§7.4 leave automatic
+// pushdown selection as future work; internal/advisor implements it. This
+// ablation compares, for each TPC-H query, the hand-picked operator sets
+// the paper's methodology produces against the advisor's threshold rule
+// and cost model, and against pushing everything.
+func figAdvisor(opts Options) *Table {
+	t := &Table{
+		Figure: "Ext A1",
+		Title:  "Automatic pushdown selection (extension; paper future work §5.1)",
+		Header: []string{"query", "strategy", "ops-pushed", "time(s)", "speedup-vs-base"},
+	}
+	hwCfg := hw.Testbed()
+	for _, q := range []string{"Q9", "Q3", "Q6"} {
+		w := findWorkload(q)
+		base := run(w, opts, runSpec{platform: platBase})
+
+		// The advisor profiles the base-DDC run, like a DBA would.
+		threshCfg := advisor.DefaultConfig()
+		threshCfg.ThresholdRMps = 80_000 // the paper's 80K RM/s split (§7.4)
+		threshPush, _ := advisor.Recommend(base.Profile, threshCfg, &hwCfg)
+
+		costCfg := advisor.DefaultConfig()
+		costCfg.TableEntries = base.Proc.Space.Pages()
+		costPush, _ := advisor.Recommend(base.Profile, costCfg, &hwCfg)
+
+		allOps := make([]string, 0, len(base.Profile))
+		for _, o := range base.Profile {
+			allOps = append(allOps, o.Name)
+		}
+
+		strategies := []struct {
+			name string
+			ops  []string
+		}{
+			{"hand-picked (paper §7.1)", w.PushOps},
+			{"advisor threshold", threshPush},
+			{"advisor cost model", costPush},
+			{"push everything", allOps},
+		}
+		t.AddRow(q, "base DDC (none)", "0", fm(base.Time), fx(1))
+		for _, s := range strategies {
+			var tm = base.Time
+			if len(s.ops) > 0 {
+				tm = run(w, opts, runSpec{platform: platTeleport, pushOps: s.ops}).Time
+			}
+			t.AddRow("", s.name,
+				strings.Join(shorten(s.ops), ","), fm(tm), fx(ratio(base.Time, tm)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the advisor selects from the base-DDC profile using §7.4's RM/s metric or the hardware cost model")
+	return t
+}
+
+// shorten abbreviates operator names for the table.
+func shorten(ops []string) []string {
+	out := make([]string, len(ops))
+	for i, o := range ops {
+		if len(o) > 4 {
+			o = o[:4]
+		}
+		out[i] = o
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+
+	"teleport/internal/advisor"
+	"teleport/internal/hw"
+	"teleport/internal/profile"
+	"teleport/internal/trace"
+)
+
+// WorkloadNames lists the eight evaluation workloads plus the extras
+// (QFilter, Q1, PageRank).
+func WorkloadNames() []string {
+	ws := publicWorkloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// PlatformNames lists the selectable platforms. "teleport-auto" profiles
+// the workload on the base DDC first and lets internal/advisor choose the
+// operators to push.
+func PlatformNames() []string {
+	return []string{"local", "linux-ssd", "base-ddc", "teleport", "teleport-auto"}
+}
+
+// WorkloadResult is one workload execution for external tooling (cmd/ddcsim).
+type WorkloadResult struct {
+	Workload string
+	Platform string
+	Seconds  float64
+	Profile  []profile.OpStat
+	// Trace holds the machine's retained events when Options.TraceCap > 0.
+	Trace []trace.Event
+}
+
+// RunWorkload executes one named workload on one named platform.
+func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResult, error) {
+	var plat platform
+	auto := false
+	switch platformName {
+	case "local":
+		plat = platLocal
+	case "linux-ssd":
+		plat = platLinuxSSD
+	case "base-ddc":
+		plat = platBase
+	case "teleport":
+		plat = platTeleport
+	case "teleport-auto":
+		plat = platTeleport
+		auto = true
+	default:
+		return WorkloadResult{}, fmt.Errorf("bench: unknown platform %q (have %v)", platformName, PlatformNames())
+	}
+	var w workload
+	found := false
+	for _, cand := range publicWorkloads() {
+		if cand.Name == workloadName {
+			w, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return WorkloadResult{}, fmt.Errorf("bench: unknown workload %q (have %v)", workloadName, WorkloadNames())
+	}
+	spec := runSpec{platform: plat}
+	if auto {
+		baseOut := run(w, opts, runSpec{platform: platBase})
+		hwCfg := hw.Testbed()
+		cfg := advisor.DefaultConfig()
+		cfg.TableEntries = baseOut.Proc.Space.Pages()
+		spec.pushOps, _ = advisor.Recommend(baseOut.Profile, cfg, &hwCfg)
+		if spec.pushOps == nil {
+			spec.pushOps = []string{}
+		}
+	}
+	out := run(w, opts, spec)
+	return WorkloadResult{
+		Workload: workloadName,
+		Platform: platformName,
+		Seconds:  out.Time.Seconds(),
+		Profile:  out.Profile,
+		Trace:    out.Proc.M.Trace.Events(),
+	}, nil
+}
+
+// Advise profiles a workload on the base DDC and returns the pushdown
+// advisor's per-operator decisions (cost-model mode).
+func Advise(workloadName string, opts Options) ([]advisor.Decision, error) {
+	var w workload
+	found := false
+	for _, cand := range publicWorkloads() {
+		if cand.Name == workloadName {
+			w, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("bench: unknown workload %q (have %v)", workloadName, WorkloadNames())
+	}
+	out := run(w, opts, runSpec{platform: platBase})
+	hwCfg := hw.Testbed()
+	cfg := advisor.DefaultConfig()
+	cfg.TableEntries = out.Proc.Space.Pages()
+	_, decisions := advisor.Recommend(out.Profile, cfg, &hwCfg)
+	return decisions, nil
+}

@@ -1,0 +1,163 @@
+package coldb
+
+import (
+	"teleport/internal/ddc"
+	"teleport/internal/mem"
+)
+
+// GroupAgg is an open-addressing hash aggregation table in disaggregated
+// memory: group keys and running sums, linear probing.
+type GroupAgg struct {
+	nSlots int
+	keys   mem.Addr // int64 per slot; sentinel emptyKey
+	sums   mem.Addr // float64 per slot
+	counts mem.Addr // int64 per slot
+	Groups int
+}
+
+const emptyKey = int64(-0x7FFFFFFFFFFFFFFF)
+
+// NewGroupAgg allocates a table for up to maxGroups distinct keys.
+func NewGroupAgg(p *ddc.Process, maxGroups int) *GroupAgg {
+	n := 16
+	for n < maxGroups*2 {
+		n <<= 1
+	}
+	g := &GroupAgg{
+		nSlots: n,
+		keys:   p.Space.AllocPages(int64(n)*8, "group.keys"),
+		sums:   p.Space.AllocPages(int64(n)*8, "group.sums"),
+		counts: p.Space.AllocPages(int64(n)*8, "group.counts"),
+	}
+	for i := 0; i < n; i++ {
+		p.Space.WriteI64(g.keys+mem.Addr(i*8), emptyKey)
+	}
+	return g
+}
+
+// Add accumulates v into key's group.
+func (g *GroupAgg) Add(env *ddc.Env, key int64, v float64) {
+	env.Compute(opsGroup)
+	slot := int(uint64(key)*0x9E3779B97F4A7C15>>32) & (g.nSlots - 1)
+	for {
+		k := env.ReadI64(g.keys + mem.Addr(slot*8))
+		if k == key {
+			break
+		}
+		if k == emptyKey {
+			env.WriteI64(g.keys+mem.Addr(slot*8), key)
+			g.Groups++
+			break
+		}
+		env.Compute(opsChainStep)
+		slot = (slot + 1) & (g.nSlots - 1)
+	}
+	a := mem.Addr(slot * 8)
+	env.WriteF64(g.sums+a, env.ReadF64(g.sums+a)+v)
+	env.WriteI64(g.counts+a, env.ReadI64(g.counts+a)+1)
+}
+
+// GroupRow is one group's result.
+type GroupRow struct {
+	Key   int64
+	Sum   float64
+	Count int64
+}
+
+// Rows scans the table and returns all groups (order unspecified).
+func (g *GroupAgg) Rows(env *ddc.Env) []GroupRow {
+	out := make([]GroupRow, 0, g.Groups)
+	for i := 0; i < g.nSlots; i++ {
+		env.Compute(2)
+		k := env.ReadI64(g.keys + mem.Addr(i*8))
+		if k == emptyKey {
+			continue
+		}
+		out = append(out, GroupRow{
+			Key:   k,
+			Sum:   env.ReadF64(g.sums + mem.Addr(i*8)),
+			Count: env.ReadI64(g.counts + mem.Addr(i*8)),
+		})
+	}
+	return out
+}
+
+// GroupBySum aggregates vals by keys over candidate rows and returns the
+// group table (the Group/Aggr. operators of Figure 10).
+func GroupBySum(env *ddc.Env, keys, vals *Column, cand *CandList, maxGroups int) *GroupAgg {
+	g := NewGroupAgg(env.P, maxGroups)
+	cand.ForEach(env, keys.N, func(row int) {
+		g.Add(env, keys.I64At(env, row), vals.F64At(env, row))
+	})
+	return g
+}
+
+// SortRowsByKey sorts a materialised key column's row indices ascending and
+// returns the permutation as a candidate list (used for order-by and to
+// prepare merge joins). The sort runs where the env runs, charging
+// n·log n·opsSortStep plus its memory traffic.
+func SortRowsByKey(env *ddc.Env, key *Column) *CandList {
+	n := key.N
+	perm := NewCandList(env.P, n)
+	for i := 0; i < n; i++ {
+		perm.Append(env, i)
+	}
+	// In-place heapsort over the candidate list: deterministic, O(n log n),
+	// all traffic through the paging model.
+	get := func(i int) int { return perm.Get(env, i) }
+	set := func(i, v int) { env.WriteU32(perm.Base+mem.Addr(i*4), uint32(v)) }
+	less := func(a, b int) bool {
+		env.Compute(opsSortStep)
+		return key.I64At(env, a) < key.I64At(env, b)
+	}
+	var down func(root, n int)
+	down = func(root, n int) {
+		for {
+			child := 2*root + 1
+			if child >= n {
+				return
+			}
+			if child+1 < n && less(get(child), get(child+1)) {
+				child++
+			}
+			if !less(get(root), get(child)) {
+				return
+			}
+			a, b := get(root), get(child)
+			set(root, b)
+			set(child, a)
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		down(i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a, b := get(0), get(i)
+		set(0, b)
+		set(i, a)
+		down(0, i)
+	}
+	return perm
+}
+
+// TopK returns the k groups with the largest sums (descending), a small
+// compute-side post-processing step (the "top 10" of TPC-H Q3).
+func TopK(env *ddc.Env, rows []GroupRow, k int) []GroupRow {
+	out := append([]GroupRow(nil), rows...)
+	// Simple selection of the top k; result sets here are small.
+	for i := 0; i < len(out) && i < k; i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			env.Compute(2)
+			if out[j].Sum > out[best].Sum {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

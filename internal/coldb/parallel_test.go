@@ -1,0 +1,151 @@
+package coldb
+
+import (
+	"testing"
+
+	"teleport/internal/core"
+	"teleport/internal/ddc"
+	"teleport/internal/mem"
+	"teleport/internal/sim"
+)
+
+func buildAggFixture(t *testing.T, cfg ddc.Config, n int) (*ddc.Process, *Column) {
+	t.Helper()
+	m := ddc.MustMachine(cfg)
+	p := m.NewProcess()
+	db := NewDB(p)
+	tab := db.CreateTable("r", n, ColumnSpec{"v", F64})
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i%977) + 0.5
+	}
+	tab.Col("v").LoadF64(p, vals)
+	return p, tab.Col("v")
+}
+
+func TestParallelAggregateMatchesSerial(t *testing.T) {
+	p, col := buildAggFixture(t, ddc.Linux(), 50000)
+	serialEnv := p.NewEnv(sim.NewThread("serial"))
+	for _, kind := range []AggKind{AggSum, AggCount, AggMin, AggMax} {
+		want := Aggregate(serialEnv, col, kind, nil)
+		for _, workers := range []int{1, 3, 8} {
+			got, _, err := ParallelAggregate(p, nil, workers, col, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("kind %d workers %d: %v vs %v", kind, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelAggregateScalesDown(t *testing.T) {
+	p, col := buildAggFixture(t, ddc.Linux(), 200000)
+	_, one, err := ParallelAggregate(p, nil, 1, col, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, eight, err := ParallelAggregate(p, nil, 8, col, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(eight) > 0.35*float64(one) {
+		t.Fatalf("8 workers (%v) should be much faster than 1 (%v)", eight, one)
+	}
+}
+
+func TestParallelAggregatePushdownSharesContexts(t *testing.T) {
+	p, col := buildAggFixture(t, ddc.BaseDDC(64*mem.PageSize), 100000)
+	wantGot, _, err := ParallelAggregate(p, nil, 4, col, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRuntime(p, 2)
+	got, _, err := ParallelAggregate(p, rt, 4, col, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantGot {
+		t.Fatalf("pushed parallel aggregate differs: %v vs %v", got, wantGot)
+	}
+	if rt.Stats().Calls != 4 {
+		t.Fatalf("expected 4 pushdown calls, got %d", rt.Stats().Calls)
+	}
+	// Two-context runtime, four workers: at least two calls must have
+	// queued behind the pool (serialisation is observable, not silent).
+	_, two, err := ParallelAggregate(p, core.NewRuntime(p, 2), 4, col, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, four, err := ParallelAggregate(p, core.NewRuntime(p, 4), 4, col, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four > two {
+		t.Fatalf("more contexts should not be slower: 2ctx %v, 4ctx %v", two, four)
+	}
+}
+
+func TestParallelSelectMatchesSerial(t *testing.T) {
+	m := ddc.MustMachine(ddc.Linux())
+	p := m.NewProcess()
+	db := NewDB(p)
+	n := 30000
+	tab := db.CreateTable("r", n, ColumnSpec{"v", I64})
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 251)
+	}
+	tab.Col("v").LoadI64(p, vals)
+	col := tab.Col("v")
+	pred := PredI64{Op: CmpLT, Lo: 50}
+
+	env := p.NewEnv(sim.NewThread("serial"))
+	want := SelectI64(env, col, pred, nil)
+	for _, workers := range []int{1, 2, 5} {
+		got, _, err := ParallelSelect(p, nil, workers, col, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != want.N {
+			t.Fatalf("workers %d: N = %d, want %d", workers, got.N, want.N)
+		}
+		checkEnv := p.NewEnv(sim.NewThread("check"))
+		for i := 0; i < want.N; i++ {
+			if got.Get(checkEnv, i) != want.Get(checkEnv, i) {
+				t.Fatalf("workers %d: row order differs at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelSelectPushdown(t *testing.T) {
+	m := ddc.MustMachine(ddc.BaseDDC(64 * mem.PageSize))
+	p := m.NewProcess()
+	db := NewDB(p)
+	n := 60000
+	tab := db.CreateTable("r", n, ColumnSpec{"v", I64})
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 1000)
+	}
+	tab.Col("v").LoadI64(p, vals)
+	col := tab.Col("v")
+	pred := PredI64{Op: CmpEQ, Lo: 7}
+
+	plain, plainTime, err := ParallelSelect(p, nil, 4, col, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed, pushedTime, err := ParallelSelect(p, core.NewRuntime(p, 2), 4, col, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.N != pushed.N {
+		t.Fatalf("pushed select differs: %d vs %d", pushed.N, plain.N)
+	}
+	if pushedTime >= plainTime {
+		t.Fatalf("pushdown should beat faulting scans: %v vs %v", pushedTime, plainTime)
+	}
+}

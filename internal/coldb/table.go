@@ -1,0 +1,95 @@
+package coldb
+
+import (
+	"fmt"
+	"sort"
+
+	"teleport/internal/ddc"
+)
+
+// Table is a named set of equal-length columns.
+type Table struct {
+	Name string
+	N    int
+	cols map[string]*Column
+}
+
+// DB owns the tables of one database inside one process.
+type DB struct {
+	P      *ddc.Process
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database bound to p.
+func NewDB(p *ddc.Process) *DB {
+	return &DB{P: p, tables: make(map[string]*Table)}
+}
+
+// CreateTable allocates a table with the given column specs.
+func (db *DB) CreateTable(name string, n int, specs ...ColumnSpec) *Table {
+	if _, dup := db.tables[name]; dup {
+		panic("coldb: duplicate table " + name)
+	}
+	t := &Table{Name: name, N: n, cols: make(map[string]*Column, len(specs))}
+	for _, s := range specs {
+		t.cols[s.Name] = NewColumn(db.P, name+"."+s.Name, s.Type, n)
+	}
+	db.tables[name] = t
+	return t
+}
+
+// ColumnSpec declares one column of a new table.
+type ColumnSpec struct {
+	Name string
+	Type Type
+}
+
+// Table returns a table by name, panicking on unknown names (schema errors
+// are programming errors here, not runtime conditions).
+func (db *DB) Table(name string) *Table {
+	t, ok := db.tables[name]
+	if !ok {
+		panic("coldb: unknown table " + name)
+	}
+	return t
+}
+
+// Tables returns the table names in sorted order.
+func (db *DB) Tables() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bytes returns the total size of all columns of all tables.
+func (db *DB) Bytes() int64 {
+	var n int64
+	for _, t := range db.tables {
+		for _, c := range t.cols {
+			n += c.Bytes()
+		}
+	}
+	return n
+}
+
+// Col returns a column by name, panicking on unknown names.
+func (t *Table) Col(name string) *Column {
+	c, ok := t.cols[name]
+	if !ok {
+		panic(fmt.Sprintf("coldb: table %s has no column %s", t.Name, name))
+	}
+	return c
+}
+
+// Columns returns the column names in sorted order.
+func (t *Table) Columns() []string {
+	names := make([]string, 0, len(t.cols))
+	for n := range t.cols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"teleport/internal/ddc"
+	"teleport/internal/mem"
+	"teleport/internal/netmodel"
+	"teleport/internal/sim"
+	"teleport/internal/trace"
+)
+
+// This file implements the on-demand memory synchronisation of §4.1: the
+// page-fault handlers of Figure 9, which maintain the invariant that for
+// every page either (a) the compute pool holds the only writable copy,
+// (b) the temporary context holds the only writable copy, or (c) all copies
+// are read-only (the Single-Writer-Multiple-Reader invariant).
+
+// memPager services the temporary user context's accesses — Figure 9's
+// MemoryOnPageFault (lines 11–17) plus the compute-side handler it triggers
+// (ComputeOnPageRequest, lines 18–25).
+type memPager struct {
+	ps   *pushState
+	st   *Stats
+	opts Options
+}
+
+// EnsurePage implements the memory-place access path.
+func (mp *memPager) EnsurePage(e *ddc.Env, pg mem.PageID, write bool) {
+	ps := mp.ps
+	p := ps.rt.P
+
+	if mp.opts.Flags&(FlagNoCoherence|FlagEagerSync|FlagMigrateProcess|FlagEvictRanges) != 0 {
+		// Relaxed / strawman modes: no protocol, only pool residency (and
+		// dirty tracking so eager mode knows what changed).
+		p.EnsureInPool(e.T, pg, write)
+		if write {
+			ps.temp.entry(pg).dirty = true
+		}
+		return
+	}
+
+	tt := ps.temp
+	present, writable := tt.peek(pg)
+	if present && (!write || writable) {
+		// Permission hit. Line 14–15 still applies: the page itself may
+		// have been spilled to the storage pool.
+		p.EnsureInPool(e.T, pg, write)
+		ent := tt.entry(pg)
+		if write {
+			ent.dirty = true
+		}
+		ent.lastMemTouch = e.T.Now()
+		return
+	}
+
+	// Temporary-context page fault (Figure 9 lines 11–17).
+	mp.st.MemoryFaults++
+	mark := e.T.Now()
+	ent := tt.entry(pg)
+
+	heldW, heldDirty, held := p.Cache.Lookup(pg)
+	if held {
+		// Line 17: send request to the compute pool. Lines 18–25
+		// (ComputeOnPageRequest) run there; if the compute copy is dirty,
+		// the data rides back on the reply.
+		respBytes := ctrlMsgBytes
+		if heldDirty {
+			respBytes = pageMsgBytes
+			p.Cache.ClearDirty(pg)
+		}
+		p.M.Trace.Add(trace.Event{At: e.T.Now(), Kind: trace.KindCoherence, Page: uint64(pg), Arg: b2i(write), Who: e.T.Name()})
+		p.M.Fabric.RoundTrip(e.T, ctrlMsgBytes, respBytes, netmodel.ClassCoherence)
+		mp.st.CoherenceMsgs += 2
+		ps.rt.agg.CoherenceMsgs += 2
+		if write {
+			// Line 22: Evict pte — unless the PSO relaxation keeps a
+			// read-only copy in the other pool (§4.2).
+			if ps.pso {
+				p.Cache.SetWritable(pg, false)
+			} else {
+				p.Cache.Remove(pg)
+			}
+		} else {
+			// Line 24: pte.writable ← False.
+			p.Cache.SetWritable(pg, false)
+		}
+		p.Epoch++
+		ent.present = true
+		ent.writable = write
+		_ = heldW
+	} else {
+		// True page fault (lines 14–15): to the storage pool if spilled;
+		// afterwards the temporary context is the sole holder.
+		p.EnsureInPool(e.T, pg, write)
+		ent.present = true
+		ent.writable = true
+	}
+	if write {
+		ent.writable = true
+		ent.dirty = true
+	}
+	ent.lastMemTouch = e.T.Now()
+	mp.st.OnlineSync += e.T.Now() - mark
+}
+
+// pushHooks services compute-pool faults while a pushdown is active —
+// Figure 9's ComputeOnPageFault / MemoryOnPageRequest pair (lines 1–10).
+// It is installed on the process for the lifetime of the shared pushdown
+// state.
+type pushHooks struct {
+	ps *pushState
+}
+
+var _ ddc.PushHooks = (*pushHooks)(nil)
+
+// ComputeFaulted runs when the compute pool demand-fetched page pg during a
+// pushdown: the memory controller serves the page and simultaneously
+// applies Invalidate(t_mm[pg], write) to the temporary context (lines
+// 8–10) — no additional message is needed because the fault reply carries
+// the result.
+func (h *pushHooks) ComputeFaulted(t *sim.Thread, pg mem.PageID, write bool) {
+	ps := h.ps
+	ps.rt.agg.ComputeFaults++
+	ent := ps.temp.entry(pg)
+	if write {
+		h.tiebreak(t, ent)
+	}
+	if write {
+		if ps.pso {
+			ent.writable = false
+		} else {
+			ent.present = false
+		}
+	} else {
+		ent.writable = false
+	}
+}
+
+// ComputeUpgrade runs when the compute pool holds pg read-only and wants to
+// write — the (R,R) → (W,∅) transition that needs an explicit coherence
+// round trip to invalidate the temporary context's copy.
+func (h *pushHooks) ComputeUpgrade(t *sim.Thread, pg mem.PageID) {
+	ps := h.ps
+	ps.rt.agg.Upgrades++
+	ent := ps.temp.entry(pg)
+	h.tiebreak(t, ent)
+	ps.rt.P.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindCoherence, Page: uint64(pg), Arg: 1, Who: t.Name()})
+	ps.rt.P.M.Fabric.RoundTrip(t, ctrlMsgBytes, ctrlMsgBytes, netmodel.ClassCoherence)
+	ps.rt.agg.CoherenceMsgs += 2
+	if ps.pso {
+		ent.writable = false
+	} else {
+		ent.present = false
+	}
+}
+
+// tiebreak models §4.1's concurrent-fault rule: when the compute pool's
+// write request races with the temporary context's own activity on the
+// page, the memory pool wins — the compute pool satisfies the memory
+// pool's request, waits t, and reissues its own (one extra control round
+// trip).
+func (h *pushHooks) tiebreak(t *sim.Thread, ent *tempPTE) {
+	rt := h.ps.rt
+	if ent.present && ent.writable && ent.lastMemTouch > 0 &&
+		t.Now()-ent.lastMemTouch < rt.ContentionWindow {
+		rt.agg.Contentions++
+		rt.P.M.Fabric.RoundTrip(t, ctrlMsgBytes, ctrlMsgBytes, netmodel.ClassCoherence)
+		rt.agg.CoherenceMsgs += 2
+		t.Advance(rt.TiebreakWait)
+	}
+}
+
+// SyncMem implements the manual, preemptive flush of §4.2: dirty pages in
+// the given ranges are written back to the memory pool in one batched
+// transfer. Applications use it before or during pushdown when they know
+// which pages fn will touch, or to repair false sharing under
+// FlagNoCoherence (Figure 7).
+func (r *Runtime) SyncMem(t *sim.Thread, ranges []Range) int {
+	p := r.P
+	if !p.M.Cfg.Disaggregated {
+		return 0
+	}
+	var dirty []mem.PageID
+	for _, rg := range ranges {
+		rg.Pages(func(pg mem.PageID) {
+			if _, d, ok := p.Cache.Lookup(pg); ok && d {
+				dirty = append(dirty, pg)
+			}
+		})
+	}
+	if len(dirty) == 0 {
+		return 0
+	}
+	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindSync, Arg: int64(len(dirty)), Who: t.Name()})
+	p.M.Fabric.Send(t, len(dirty)*pageMsgBytes, netmodel.ClassSync)
+	for _, pg := range dirty {
+		p.Cache.ClearDirty(pg)
+		if r.ps != nil {
+			// The memory pool now has the fresh data; the compute copy
+			// stays read-only so the pushed function can read it freely.
+			p.Cache.SetWritable(pg, false)
+			r.ps.temp.entry(pg).writable = false
+		}
+	}
+	p.Epoch++
+	return len(dirty)
+}
+
+// b2i encodes a flag in a trace event's Arg field.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

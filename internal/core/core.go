@@ -1,0 +1,166 @@
+// Package core implements TELEPORT, the paper's contribution: an OS-level
+// compute-pushdown primitive for memory-disaggregated data centers (§3–§4).
+//
+// A user thread in the compute pool calls Pushdown(fn, opts). The runtime
+// ships the call — together with a run-length-encoded list of the pages
+// resident in the compute-local cache and their write permissions — to the
+// memory pool's controller over one RDMA message, instantiates a temporary
+// user context that borrows the caller's page table (vfork-like, §3.2), and
+// executes fn next to the data. A MESI-inspired write-invalidate protocol
+// (§4.1, Figures 8 and 9) keeps the compute cache and the temporary context
+// coherent under the Single-Writer-Multiple-Reader invariant while
+// concurrent compute threads keep running. Optional flags select the
+// relaxed consistency modes of §4.2 and the strawman synchronisation
+// methods the paper ablate in Figures 6 and 20.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"teleport/internal/mem"
+	"teleport/internal/sim"
+)
+
+// Flags select synchronisation and consistency behaviour (the syscall's
+// third parameter, §3.1).
+type Flags uint32
+
+// Flag values.
+const (
+	// FlagDefault uses the on-demand MESI-style coherence of §4.1.
+	FlagDefault Flags = 0
+
+	// FlagPSO relaxes write propagation: when one pool requests write
+	// permission, the other pool's copy is downgraded to read-only instead
+	// of removed, yielding Partial Store Ordering (§4.2).
+	FlagPSO Flags = 1 << iota
+
+	// FlagNoCoherence disables the coherence protocol entirely (§4.2's Weak
+	// Ordering relaxation); the application synchronises manually with
+	// SyncMem.
+	FlagNoCoherence
+
+	// FlagEagerSync is the strawman of §7.5/Figure 20: every resident page
+	// is flushed before execution and re-fetched afterwards.
+	FlagEagerSync
+
+	// FlagMigrateProcess is the naive approach of §4/Figure 6: migrate the
+	// whole process, flushing the entire cache before and leaving it cold
+	// after.
+	FlagMigrateProcess
+
+	// FlagEvictRanges is Figure 6's per-thread variant: flush and evict
+	// only Options.EvictRanges before execution (no online coherence for
+	// those pages).
+	FlagEvictRanges
+)
+
+// Range is a contiguous address range, used by SyncMem and FlagEvictRanges.
+type Range struct {
+	Base mem.Addr
+	Size int64
+}
+
+// Pages calls f for every page the range overlaps.
+func (r Range) Pages(f func(mem.PageID)) {
+	if r.Size <= 0 {
+		return
+	}
+	first, last := mem.PageSpan(r.Base, int(r.Size))
+	for p := first; p <= last; p++ {
+		f(p)
+	}
+}
+
+// Options configures one pushdown call.
+type Options struct {
+	Flags Flags
+
+	// Timeout bounds how long the call may sit in the memory pool's
+	// workqueue before the compute side issues try_cancel (§3.2). Zero
+	// blocks forever. Cancellation succeeds only while the request is
+	// still queued; once running, the memory pool declines and the caller
+	// waits for completion.
+	Timeout sim.Time
+
+	// ExecLimit kills pushed functions that run longer than this in the
+	// memory pool ("buggy code", §3.2). Zero means no limit.
+	ExecLimit sim.Time
+
+	// EvictRanges lists the address ranges owned by the pushed computation
+	// for FlagEvictRanges.
+	EvictRanges []Range
+
+	// ArgBytes is the size of the marshalled argument vector added to the
+	// request message (the arg pointer's transitive closure stays in the
+	// shared address space, so this is typically tiny).
+	ArgBytes int
+}
+
+// Stats breaks one pushdown call into the six components of §7.5
+// (Figure 19), plus protocol counters.
+type Stats struct {
+	PreSync    sim.Time // (1) pre-pushdown synchronisation
+	Request    sim.Time // (2) request transfer over RDMA
+	Queue      sim.Time // workqueue wait (part of (3) in the paper's accounting)
+	CtxSetup   sim.Time // (3) temporary user context setup
+	Exec       sim.Time // (4) function execution, including online sync
+	OnlineSync sim.Time // (4b) the online-sync share of Exec
+	Response   sim.Time // (5) response transfer
+	PostSync   sim.Time // (6) post-pushdown synchronisation
+
+	ResidentPages      int   // compute-resident pages at call time
+	RLERuns            int   // runs after §6's run-length encoding
+	RequestBytes       int   // request message size
+	SetupInvalidations int   // Figure 8 invalidations applied at setup
+	ComputeFaults      int64 // compute-pool faults served during pushdown
+	MemoryFaults       int64 // temporary-context faults served
+	CoherenceMsgs      int64 // coherence messages this call caused
+	Contentions        int64 // concurrent-fault tiebreaks (§4.1)
+}
+
+// Total returns the call's end-to-end latency.
+func (s Stats) Total() sim.Time {
+	return s.PreSync + s.Request + s.Queue + s.CtxSetup + s.Exec + s.Response + s.PostSync
+}
+
+// Overhead returns the latency excluding the user function itself, the
+// quantity Figure 20 plots.
+func (s Stats) Overhead() sim.Time { return s.Total() - (s.Exec - s.OnlineSync) }
+
+// String summarises the breakdown.
+func (s Stats) String() string {
+	return fmt.Sprintf("pre=%v req=%v queue=%v setup=%v exec=%v (sync=%v) resp=%v post=%v",
+		s.PreSync, s.Request, s.Queue, s.CtxSetup, s.Exec, s.OnlineSync, s.Response, s.PostSync)
+}
+
+// Errors returned by Pushdown.
+var (
+	// ErrCancelled reports a queued request cancelled after Options.Timeout
+	// (try_cancel succeeded); the caller is free to run fn locally or retry.
+	ErrCancelled = errors.New("teleport: pushdown cancelled after timeout")
+
+	// ErrKilled reports a pushed function killed after exceeding
+	// Options.ExecLimit; the compute-side wrapper raises an abort.
+	ErrKilled = errors.New("teleport: pushed function killed (exec limit exceeded)")
+
+	// ErrMemoryPoolDown reports heartbeat loss to the memory pool. The
+	// paper's kernel panics — main memory is gone — so any further use of
+	// the process is invalid.
+	ErrMemoryPoolDown = errors.New("teleport: memory pool unreachable (kernel panic)")
+
+	// ErrNotDisaggregated reports a pushdown on a monolithic machine.
+	ErrNotDisaggregated = errors.New("teleport: pushdown requires a disaggregated machine")
+)
+
+// RemoteError wraps a panic thrown by the pushed function; it is rethrown
+// to the caller just like the C++ exception tunnelling of §3.2.
+type RemoteError struct {
+	Value any
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("teleport: pushed function panicked: %v", e.Value)
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"teleport/internal/ddc"
+	"teleport/internal/hw"
+	"teleport/internal/mem"
+	"teleport/internal/netmodel"
+	"teleport/internal/sim"
+	"teleport/internal/trace"
+)
+
+// Wire sizes for the coherence protocol (the pushdown request/response
+// sizes come from their marshalled forms in internal/netmodel).
+const (
+	ctrlMsgBytes = 48 // coherence control message
+	pageMsgBytes = mem.PageSize + 32
+)
+
+// Func is a pushed-down function. It runs in the memory pool inside a
+// temporary user context that shares the caller's address space: any address
+// the caller could dereference, fn can too (§3.1).
+type Func func(env *ddc.Env)
+
+// Runtime is the TELEPORT instance pair of one process: the compute-kernel
+// side (syscall entry, resident-list construction, heartbeats) and the
+// memory-kernel side (RPC server, workqueue, temporary user contexts,
+// coherence).
+type Runtime struct {
+	// P is the process whose address space pushdowns execute in.
+	P *ddc.Process
+
+	// Contexts is the number of parallel user contexts the memory pool
+	// runs (§3.2 "Handling concurrent pushdown requests"; swept in
+	// Figure 17). With one context, concurrent requests serialise FIFO.
+	Contexts int
+
+	// TiebreakWait is the paper's t: how long the compute pool waits after
+	// satisfying the memory pool's concurrent write request before
+	// reissuing its own (§4.1 "Concurrent page faults").
+	TiebreakWait sim.Time
+
+	// ContentionWindow bounds how recently the temporary context must have
+	// touched a page for a compute-pool write fault on it to count as a
+	// concurrent fault.
+	ContentionWindow sim.Time
+
+	// CtxSwitchPenalty scales the execution dilation applied when more
+	// user contexts run than the memory pool has physical cores.
+	CtxSwitchPenalty float64
+
+	running int
+	queue   []*waiter
+	ps      *pushState
+	down    bool
+	agg     RuntimeStats
+}
+
+type waiter struct {
+	t         *sim.Thread
+	deadline  sim.Time // 0 = no timeout
+	cancelled bool
+}
+
+// pushState is the coherence state shared by all pushdowns of one process
+// that are in flight simultaneously (they share the borrowed page table,
+// §3.2).
+type pushState struct {
+	rt   *Runtime
+	temp *tempTable
+	refs int
+	pso  bool
+}
+
+// RuntimeStats aggregates protocol activity across calls.
+type RuntimeStats struct {
+	Calls         int64
+	Cancelled     int64
+	Killed        int64
+	ComputeFaults int64 // compute-pool faults handled during pushdowns
+	Upgrades      int64 // compute write-upgrades that needed coherence
+	CoherenceMsgs int64
+	Contentions   int64
+}
+
+// NewRuntime returns a TELEPORT runtime for p with the given number of
+// memory-pool user contexts.
+func NewRuntime(p *ddc.Process, contexts int) *Runtime {
+	if contexts < 1 {
+		contexts = 1
+	}
+	return &Runtime{
+		P:                p,
+		Contexts:         contexts,
+		TiebreakWait:     15 * sim.Microsecond,
+		ContentionWindow: 10 * sim.Microsecond,
+		CtxSwitchPenalty: 0.05,
+	}
+}
+
+// Stats returns the aggregate runtime statistics.
+func (r *Runtime) Stats() RuntimeStats { return r.agg }
+
+// SetMemoryPoolDown simulates a memory-pool or network failure, which the
+// compute-side heartbeat thread detects (§3.2).
+func (r *Runtime) SetMemoryPoolDown(down bool) { r.down = down }
+
+// Heartbeat reports whether the memory pool is reachable.
+func (r *Runtime) Heartbeat() bool { return !r.down }
+
+// PushdownOrLocal attempts a pushdown and, if the request is cancelled
+// while still queued (try_cancel succeeded after Options.Timeout), runs fn
+// in the compute pool instead — the fallback §3.2 describes ("the
+// application is free to execute fn directly in the compute pool"). It
+// reports whether the function ultimately ran in the memory pool.
+func (r *Runtime) PushdownOrLocal(t *sim.Thread, fn Func, opts Options) (Stats, bool, error) {
+	st, err := r.Pushdown(t, fn, opts)
+	if err == ErrCancelled {
+		fn(r.P.NewEnv(t))
+		return st, false, nil
+	}
+	return st, true, err
+}
+
+// Pushdown ships fn to the memory pool and blocks the calling thread until
+// it completes (§3.2, Figure 5). Other simulated threads of the process
+// keep running in the compute pool; the coherence protocol keeps both sides
+// consistent. It returns the per-call breakdown and an error for
+// cancellation, kill, remote panic, or pool failure.
+func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) {
+	var st Stats
+	if r.down {
+		return st, ErrMemoryPoolDown
+	}
+	if !r.P.M.Cfg.Disaggregated {
+		return st, ErrNotDisaggregated
+	}
+	r.agg.Calls++
+	callID := r.agg.Calls
+	p := r.P
+	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindPushdownStart, Arg: callID, Who: t.Name()})
+
+	// ❶–❷ Pre-pushdown synchronisation and request construction.
+	mark := t.Now()
+	entries, eagerPages := r.preSync(t, opts)
+	st.PreSync = t.Now() - mark
+	st.ResidentPages = len(entries)
+
+	mark = t.Now()
+	runs, err := netmodel.EncodeRuns(entries)
+	if err != nil {
+		return st, err
+	}
+	st.RLERuns = len(runs)
+	// The request is a real wire message: fn/arg pointers, flags, any
+	// inline argument bytes, and the RLE page list, which §6's compression
+	// keeps within a single RDMA buffer.
+	req := netmodel.PushdownRequest{
+		Fn:       0x400000, // a code address in the shared space
+		Arg:      0x7FFF0000,
+		Flags:    uint32(opts.Flags),
+		Resident: runs,
+	}
+	if opts.ArgBytes > 0 {
+		req.ArgInline = make([]byte, opts.ArgBytes)
+	}
+	wire, err := req.Marshal()
+	if err != nil {
+		return st, err
+	}
+	st.RequestBytes = len(wire)
+	p.M.Fabric.Send(t, st.RequestBytes, netmodel.ClassPushdown)
+	st.Request = t.Now() - mark
+
+	// ❸ Workqueue: wait for a free user context (FIFO; try_cancel applies
+	// while queued).
+	mark = t.Now()
+	if err := r.acquire(t, opts); err != nil {
+		st.Queue = t.Now() - mark
+		r.agg.Cancelled++
+		return st, err
+	}
+	st.Queue = t.Now() - mark
+
+	// ❹ Temporary user context setup (Figure 8).
+	mark = t.Now()
+	ps := r.enterPush(t, entries, opts, &st)
+	st.CtxSetup = t.Now() - mark
+
+	// Function execution with online coherence (Figure 9).
+	mark = t.Now()
+	pager := &memPager{ps: ps, st: &st, opts: opts}
+	env := p.NewMemoryEnv(t, pager)
+	env.Dilation = r.dilation
+	var remoteErr error
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				remoteErr = &RemoteError{Value: v}
+			}
+		}()
+		fn(env)
+	}()
+	st.Exec = t.Now() - mark
+	killed := opts.ExecLimit > 0 && st.Exec > opts.ExecLimit
+
+	// ❺–❼ Completion response: status plus any tunnelled exception (§3.2's
+	// C++-exception rethrow carries the exception structure back).
+	mark = t.Now()
+	resp := netmodel.PushdownResponse{Status: netmodel.StatusOK}
+	if killed {
+		resp.Status = netmodel.StatusKilled
+	} else if remoteErr != nil {
+		resp.Status = netmodel.StatusException
+		resp.Exception = []byte(remoteErr.Error())
+	}
+	p.M.Fabric.Send(t, len(resp.Marshal()), netmodel.ClassPushdown)
+	st.Response = t.Now() - mark
+
+	// ❽ Post-pushdown synchronisation.
+	mark = t.Now()
+	r.postSync(t, ps, opts, eagerPages)
+	st.PostSync = t.Now() - mark
+
+	r.exitPush(ps)
+	r.release(t)
+	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindPushdownEnd, Arg: callID, Who: t.Name()})
+
+	if killed {
+		r.agg.Killed++
+		return st, ErrKilled
+	}
+	return st, remoteErr
+}
+
+// preSync performs the mode-dependent pre-pushdown synchronisation. It
+// returns the resident-page list to ship (coherent modes) or, for the eager
+// strawman, the page set to re-fetch afterwards.
+func (r *Runtime) preSync(t *sim.Thread, opts Options) ([]netmodel.PageEntry, []mem.PageID) {
+	p := r.P
+	cfg := &p.M.Cfg.HW
+	switch {
+	case opts.Flags&FlagMigrateProcess != 0:
+		// Naive whole-process migration (§4): synchronously transfer every
+		// resident page — the naive path does not track dirtiness finer
+		// than "the process ran here" — and clear the compute node's
+		// memory, page by page through the eviction path.
+		var pages []mem.PageID
+		p.Cache.Range(func(pg mem.PageID, _, _ bool) bool {
+			pages = append(pages, pg)
+			return true
+		})
+		for range pages {
+			r.flushPage(t)
+		}
+		p.Cache.Clear()
+		p.Epoch++
+		return nil, nil
+
+	case opts.Flags&FlagEvictRanges != 0:
+		// Per-thread variant (Figure 6): flush and evict only the pushed
+		// computation's pages, page by page through the same eviction path.
+		for _, rg := range opts.EvictRanges {
+			rg.Pages(func(pg mem.PageID) {
+				if p.Cache.Contains(pg) {
+					r.flushPage(t)
+					p.Cache.Remove(pg)
+				}
+			})
+		}
+		p.Epoch++
+		return nil, nil
+
+	case opts.Flags&FlagEagerSync != 0:
+		// Strawman (Figure 20): synchronise every resident page up front,
+		// synchronously and individually.
+		var pages []mem.PageID
+		p.Cache.Range(func(pg mem.PageID, _, _ bool) bool {
+			pages = append(pages, pg)
+			return true
+		})
+		for _, pg := range pages {
+			p.M.Fabric.RoundTrip(t, ctrlMsgBytes, 0, netmodel.ClassSync)
+			p.M.Fabric.Send(t, pageMsgBytes, netmodel.ClassSync)
+			p.Cache.Remove(pg)
+		}
+		p.Epoch++
+		return nil, pages
+
+	case opts.Flags&FlagNoCoherence != 0:
+		// Weak ordering: nothing is transmitted; the user syncs manually.
+		return nil, nil
+
+	default:
+		// On-demand coherence: build the resident list (with permissions)
+		// for the request message; no data moves.
+		var entries []netmodel.PageEntry
+		p.Cache.Range(func(pg mem.PageID, w, _ bool) bool {
+			entries = append(entries, netmodel.PageEntry{ID: uint64(pg), Writable: w})
+			return true
+		})
+		t.AdvanceNs(hw.OpNs(cfg.ComputeClockGHz, float64(len(entries))*cfg.PageListEntryOps))
+		return entries, nil
+	}
+}
+
+// flushPage charges one synchronous page eviction over the fabric: a
+// control round trip, the page transfer, and the fault-handling software
+// path on both ends.
+func (r *Runtime) flushPage(t *sim.Thread) {
+	cfg := &r.P.M.Cfg.HW
+	r.P.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindSync, Who: t.Name()})
+	r.P.M.Fabric.RoundTrip(t, ctrlMsgBytes, ctrlMsgBytes, netmodel.ClassSync)
+	r.P.M.Fabric.Send(t, pageMsgBytes, netmodel.ClassSync)
+	t.AdvanceNs(2 * cfg.FaultHandleNs)
+}
+
+// enterPush creates or joins the shared pushdown coherence state and
+// performs Figure 8's MemorySetup, charging the table-clone cost.
+func (r *Runtime) enterPush(t *sim.Thread, entries []netmodel.PageEntry, opts Options, st *Stats) *pushState {
+	p := r.P
+	cfg := &p.M.Cfg.HW
+	// Cloning the caller's full page table (Figure 8 line 7) visits every
+	// PTE of the process.
+	t.AdvanceNs(hw.OpNs(cfg.MemoryClockGHz, float64(p.Space.Pages())*cfg.PTEVisitOps))
+
+	if r.ps == nil {
+		r.ps = &pushState{rt: r, temp: newTempTable(), pso: opts.Flags&FlagPSO != 0}
+	}
+	ps := r.ps
+	ps.refs++
+
+	coherent := opts.Flags&(FlagNoCoherence|FlagEagerSync|FlagMigrateProcess|FlagEvictRanges) == 0
+	if coherent {
+		// Figure 8 lines 8–13: exclude compute-writable pages, downgrade
+		// compute-read-only pages.
+		for _, e := range entries {
+			ps.temp.invalidate(mem.PageID(e.ID), e.Writable)
+			st.SetupInvalidations++
+		}
+		if ps.refs == 1 {
+			p.SetPushHooks(&pushHooks{ps: ps})
+		}
+		p.Epoch++
+	}
+	return ps
+}
+
+// exitPush drops a reference to the shared state, recycling the temporary
+// context when the last concurrent pushdown finishes (§3.2 ❺).
+func (r *Runtime) exitPush(ps *pushState) {
+	ps.refs--
+	if ps.refs == 0 {
+		r.P.SetPushHooks(nil)
+		r.ps = nil
+	}
+}
+
+// postSync performs the mode-dependent post-pushdown synchronisation.
+func (r *Runtime) postSync(t *sim.Thread, ps *pushState, opts Options, eagerPages []mem.PageID) {
+	p := r.P
+	cfg := &p.M.Cfg.HW
+	switch {
+	case opts.Flags&FlagEagerSync != 0:
+		// Re-fetch the previously resident set page by page so the compute
+		// cache is warm again — the strawman's symmetric cost.
+		for _, pg := range eagerPages {
+			p.M.Fabric.RoundTrip(t, ctrlMsgBytes, pageMsgBytes, netmodel.ClassSync)
+			p.Cache.Insert(pg, true, false)
+		}
+		p.Epoch++
+
+	case opts.Flags&(FlagMigrateProcess|FlagEvictRanges|FlagNoCoherence) != 0:
+		// Nothing to do: the cache is cold (migration/evict) or the user
+		// owns synchronisation (weak ordering).
+
+	default:
+		// §4.1: merge the temporary context's dirty bits into the full page
+		// table — a local operation in the memory pool, no communication.
+		// Merged dirty pages will need a storage write-back if the pool
+		// later evicts them.
+		t.AdvanceNs(hw.OpNs(cfg.MemoryClockGHz, float64(ps.temp.len())*cfg.PTEVisitOps))
+		if p.PoolRes != nil {
+			for _, pg := range ps.temp.dirtyPages() {
+				p.PoolRes.MarkDirty(pg)
+			}
+		}
+	}
+}
+
+// acquire waits for a free memory-pool user context, honouring try_cancel
+// timeouts for queued requests.
+func (r *Runtime) acquire(t *sim.Thread, opts Options) error {
+	if r.running < r.Contexts {
+		r.running++
+		return nil
+	}
+	w := &waiter{t: t}
+	if opts.Timeout > 0 {
+		w.deadline = t.Now() + opts.Timeout
+	}
+	r.queue = append(r.queue, w)
+	t.Block()
+	if w.cancelled {
+		return ErrCancelled
+	}
+	return nil
+}
+
+// release frees the caller's user context and hands it to the next
+// non-expired waiter, cancelling waiters whose deadline has passed.
+func (r *Runtime) release(t *sim.Thread) {
+	r.running--
+	now := t.Now()
+	for len(r.queue) > 0 {
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		if w.deadline > 0 && now > w.deadline {
+			// The request was still queued at its deadline: try_cancel
+			// succeeds and the compute side resumed at the deadline.
+			w.cancelled = true
+			w.t.Unblock(w.deadline)
+			continue
+		}
+		r.running++
+		w.t.Unblock(now)
+		return
+	}
+}
+
+// dilation models memory-pool CPU contention: with more runnable user
+// contexts than physical cores, each context's work stretches by the
+// oversubscription ratio plus a context-switching penalty (§7.3,
+// Figure 17's diminishing returns).
+func (r *Runtime) dilation() float64 {
+	cores := r.P.M.Cfg.HW.MemoryPoolCores
+	if r.running <= cores {
+		return 1
+	}
+	over := float64(r.running - cores)
+	return float64(r.running) / float64(cores) * (1 + r.CtxSwitchPenalty*over)
+}

@@ -1,0 +1,185 @@
+package ddc
+
+import "teleport/internal/mem"
+
+// PageCache is an LRU set of resident pages with per-page permission and
+// dirty bits. It serves three roles, configured by capacity:
+//   - the compute pool's local cache (the DDC's "compute-local memory"),
+//   - a monolithic server's page cache over its swap device,
+//   - the memory pool's DRAM residency in front of the storage pool.
+//
+// It tracks state and cost-relevant bits only; page contents stay in the
+// process's ground-truth mem.Space.
+type PageCache struct {
+	capacity int // in pages; 0 = unlimited
+	m        map[mem.PageID]*cacheNode
+	head     *cacheNode // most recently used
+	tail     *cacheNode // least recently used
+}
+
+type cacheNode struct {
+	page       mem.PageID
+	writable   bool
+	dirty      bool
+	prev, next *cacheNode
+}
+
+// Evicted describes a page pushed out by an insertion.
+type Evicted struct {
+	Page  mem.PageID
+	Dirty bool
+}
+
+// NewPageCache returns a cache bounded to capPages pages (0 = unlimited).
+func NewPageCache(capPages int) *PageCache {
+	return &PageCache{capacity: capPages, m: make(map[mem.PageID]*cacheNode)}
+}
+
+// Len returns the number of resident pages.
+func (c *PageCache) Len() int { return len(c.m) }
+
+// Capacity returns the page bound (0 = unlimited).
+func (c *PageCache) Capacity() int { return c.capacity }
+
+// Contains reports residency without touching LRU order.
+func (c *PageCache) Contains(p mem.PageID) bool {
+	_, ok := c.m[p]
+	return ok
+}
+
+// Lookup returns the page's permission bits and bumps it to MRU.
+func (c *PageCache) Lookup(p mem.PageID) (writable, dirty, ok bool) {
+	n, ok := c.m[p]
+	if !ok {
+		return false, false, false
+	}
+	c.moveToFront(n)
+	return n.writable, n.dirty, true
+}
+
+// Insert adds (or refreshes) a page with the given bits and returns any
+// evicted victims. Inserting an existing page overwrites its bits.
+func (c *PageCache) Insert(p mem.PageID, writable, dirty bool) []Evicted {
+	if n, ok := c.m[p]; ok {
+		n.writable, n.dirty = writable, dirty
+		c.moveToFront(n)
+		return nil
+	}
+	n := &cacheNode{page: p, writable: writable, dirty: dirty}
+	c.m[p] = n
+	c.pushFront(n)
+	var out []Evicted
+	for c.capacity > 0 && len(c.m) > c.capacity {
+		v := c.tail
+		c.unlink(v)
+		delete(c.m, v.page)
+		out = append(out, Evicted{Page: v.page, Dirty: v.dirty})
+	}
+	return out
+}
+
+// Remove evicts a specific page (e.g. a coherence invalidation), returning
+// its dirty bit.
+func (c *PageCache) Remove(p mem.PageID) (dirty, ok bool) {
+	n, ok := c.m[p]
+	if !ok {
+		return false, false
+	}
+	c.unlink(n)
+	delete(c.m, p)
+	return n.dirty, true
+}
+
+// SetWritable updates the page's write permission (coherence downgrade or
+// upgrade); it reports whether the page was resident.
+func (c *PageCache) SetWritable(p mem.PageID, w bool) bool {
+	n, ok := c.m[p]
+	if !ok {
+		return false
+	}
+	n.writable = w
+	return true
+}
+
+// MarkDirty sets the dirty bit; it reports whether the page was resident.
+func (c *PageCache) MarkDirty(p mem.PageID) bool {
+	n, ok := c.m[p]
+	if !ok {
+		return false
+	}
+	n.dirty = true
+	return true
+}
+
+// ClearDirty resets the dirty bit (after a write-back / sync).
+func (c *PageCache) ClearDirty(p mem.PageID) {
+	if n, ok := c.m[p]; ok {
+		n.dirty = false
+	}
+}
+
+// Range calls f for every resident page from MRU to LRU until f returns
+// false. f must not mutate the cache.
+func (c *PageCache) Range(f func(p mem.PageID, writable, dirty bool) bool) {
+	for n := c.head; n != nil; n = n.next {
+		if !f(n.page, n.writable, n.dirty) {
+			return
+		}
+	}
+}
+
+// SetCapacity rebounds the cache, evicting LRU pages if it shrinks below
+// its current population. It returns the evicted pages so callers can
+// account for write-backs. Used to size a platform's cache to a freshly
+// loaded working set.
+func (c *PageCache) SetCapacity(pages int) []Evicted {
+	c.capacity = pages
+	var out []Evicted
+	for c.capacity > 0 && len(c.m) > c.capacity {
+		v := c.tail
+		c.unlink(v)
+		delete(c.m, v.page)
+		out = append(out, Evicted{Page: v.page, Dirty: v.dirty})
+	}
+	return out
+}
+
+// Clear drops every resident page (whole-cache invalidation, used by the
+// naive process-migration mode of Figure 6).
+func (c *PageCache) Clear() {
+	c.m = make(map[mem.PageID]*cacheNode)
+	c.head, c.tail = nil, nil
+}
+
+func (c *PageCache) pushFront(n *cacheNode) {
+	n.prev, n.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *PageCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *PageCache) moveToFront(n *cacheNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

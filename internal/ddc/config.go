@@ -1,0 +1,97 @@
+// Package ddc implements the disaggregated operating system substrate the
+// paper builds on (§2.1, LegoOS-style): a compute pool whose local memory is
+// nothing more than a page cache, a memory pool holding the process's entire
+// address space behind a controller, and a storage pool the memory pool
+// spills to. The same Machine, differently configured, also models the
+// monolithic-Linux baselines (with and without an SSD swap path), so every
+// experiment compares platforms that differ only in configuration.
+//
+// Application data lives as real bytes in a mem.Space; the ddc layer decides
+// what every access costs (DRAM, fabric round trips, SSD paging) and
+// maintains the residency/permission state that TELEPORT's coherence
+// protocol (internal/core) manipulates during pushdown.
+package ddc
+
+import (
+	"teleport/internal/hw"
+	"teleport/internal/mem"
+)
+
+// Config selects a platform.
+type Config struct {
+	// HW is the hardware cost model.
+	HW hw.Config
+
+	// Disaggregated selects the DDC platforms. When false the machine is a
+	// monolithic server.
+	Disaggregated bool
+
+	// ComputeCacheBytes bounds the compute pool's local memory (the paper
+	// uses 1 GB). Only meaningful when Disaggregated. Zero means unlimited,
+	// which degenerates to local execution and is rejected by Validate for
+	// disaggregated configs.
+	ComputeCacheBytes int64
+
+	// MemoryPoolBytes bounds the memory pool's DRAM; pages beyond it spill
+	// to the storage pool (Figure 15 sweeps this). Zero means unlimited.
+	MemoryPoolBytes int64
+
+	// LocalMemBytes bounds a monolithic server's DRAM; pages beyond it
+	// swap to the local SSD (the "Linux with NVMe SSD" baseline of Figures
+	// 1a, 14, 15). Zero means unlimited.
+	LocalMemBytes int64
+
+	// PrefetchDepth is the number of extra sequential pages the base DDC
+	// fetches per miss, modelling LegoOS's caching/prefetching
+	// optimisations (§1). Zero disables prefetch.
+	PrefetchDepth int
+}
+
+// Linux returns a monolithic server with unlimited local memory (the paper's
+// "Local execution" reference).
+func Linux() Config {
+	return Config{HW: hw.Testbed()}
+}
+
+// LinuxSSD returns a monolithic server whose DRAM is capped at localMem
+// bytes, spilling to the NVMe SSD.
+func LinuxSSD(localMem int64) Config {
+	c := Linux()
+	c.LocalMemBytes = localMem
+	return c
+}
+
+// BaseDDC returns the disaggregated platform with the given compute-local
+// cache, standing in for LegoOS.
+func BaseDDC(cacheBytes int64) Config {
+	return Config{
+		HW:                hw.Testbed(),
+		Disaggregated:     true,
+		ComputeCacheBytes: cacheBytes,
+		PrefetchDepth:     2,
+	}
+}
+
+// Validate rejects nonsensical configurations.
+func (c *Config) Validate() error {
+	if err := c.HW.Validate(); err != nil {
+		return err
+	}
+	if c.Disaggregated && c.ComputeCacheBytes <= 0 {
+		return errConfig("disaggregated machine needs a finite compute cache")
+	}
+	if c.Disaggregated && c.LocalMemBytes != 0 {
+		return errConfig("LocalMemBytes applies only to monolithic machines")
+	}
+	if !c.Disaggregated && (c.ComputeCacheBytes != 0 || c.MemoryPoolBytes != 0) {
+		return errConfig("pool sizes apply only to disaggregated machines")
+	}
+	return nil
+}
+
+// CachePages converts ComputeCacheBytes into whole pages.
+func (c *Config) CachePages() int { return int(c.ComputeCacheBytes / mem.PageSize) }
+
+type errConfig string
+
+func (e errConfig) Error() string { return "ddc: invalid config: " + string(e) }

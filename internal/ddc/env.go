@@ -1,0 +1,383 @@
+package ddc
+
+import (
+	"teleport/internal/hw"
+	"teleport/internal/mem"
+	"teleport/internal/netmodel"
+	"teleport/internal/sim"
+	"teleport/internal/trace"
+)
+
+// Place says which resource pool a simulated thread is executing in.
+type Place int
+
+// Execution places.
+const (
+	PlaceCompute Place = iota
+	PlaceMemory
+)
+
+// String names the place.
+func (p Place) String() string {
+	if p == PlaceMemory {
+		return "memory"
+	}
+	return "compute"
+}
+
+// Pager services accesses that need residency or permission work. The
+// default pager implements the monolithic and base-DDC compute-pool paths;
+// internal/core installs a memory-place pager for pushdown execution.
+type Pager interface {
+	EnsurePage(e *Env, page mem.PageID, write bool)
+}
+
+// Env is the execution environment of one simulated thread inside one
+// process: it knows where the thread runs, at what clock, and routes every
+// data access through the paging and cost models. Application code (the
+// DBMS, graph engine, MapReduce) performs all reads/writes through an Env.
+type Env struct {
+	T     *sim.Thread
+	P     *Process
+	Place Place
+
+	// ClockGHz is the executing CPU's clock; Dilation (optional) scales CPU
+	// cost up when user contexts outnumber memory-pool cores (§7.3).
+	ClockGHz float64
+	Dilation func() float64
+
+	pager Pager
+
+	// Single-page fast path: valid while nothing in the process mutated.
+	fpValid bool
+	fpWrite bool
+	fpPage  mem.PageID
+	fpEpoch uint64
+
+	// DRAM line model state: a small set of hardware-prefetch streams,
+	// so interleaved sequential accesses (scan a column, append to an
+	// output) each stream at full bandwidth like a real prefetcher, plus a
+	// direct-mapped on-chip cache so hot small structures (group tables,
+	// dimension indexes) do not pay DRAM latency per access.
+	streams [dramStreams]uint64
+	nStream int
+	sClock  int
+	l2      []uint64
+
+	// Access counters (per env, i.e. per simulated thread).
+	reads, writes int64
+}
+
+// NewEnv returns a compute-place environment for t.
+func (p *Process) NewEnv(t *sim.Thread) *Env {
+	return &Env{
+		T: t, P: p, Place: PlaceCompute,
+		ClockGHz: p.M.Cfg.HW.ComputeClockGHz,
+		pager:    computePager{},
+	}
+}
+
+// NewMemoryEnv returns a memory-place environment using a caller-supplied
+// pager (TELEPORT's temporary-context fault handler).
+func (p *Process) NewMemoryEnv(t *sim.Thread, pager Pager) *Env {
+	return &Env{
+		T: t, P: p, Place: PlaceMemory,
+		ClockGHz: p.M.Cfg.HW.MemoryClockGHz,
+		pager:    pager,
+	}
+}
+
+// Accesses returns the environment's read and write access counts.
+func (e *Env) Accesses() (reads, writes int64) { return e.reads, e.writes }
+
+// Compute charges n abstract CPU operations at the environment's clock,
+// scaled by the dilation factor if one is installed.
+func (e *Env) Compute(n float64) {
+	ns := hw.OpNs(e.ClockGHz, n)
+	if e.Dilation != nil {
+		ns *= e.Dilation()
+	}
+	e.T.AdvanceNs(ns)
+}
+
+// touch runs the paging state machine and charges DRAM cost for an access
+// of n bytes at addr.
+func (e *Env) touch(addr mem.Addr, n int, write bool) {
+	if write {
+		e.writes++
+	} else {
+		e.reads++
+	}
+	first, last := mem.PageSpan(addr, n)
+	if first == last && e.fpValid && first == e.fpPage && e.fpEpoch == e.P.Epoch &&
+		(!write || e.fpWrite) {
+		e.chargeDRAM(addr, n)
+		return
+	}
+	for pg := first; pg <= last; pg++ {
+		e.pager.EnsurePage(e, pg, write)
+	}
+	e.fpValid, e.fpPage, e.fpWrite, e.fpEpoch = true, last, write, e.P.Epoch
+	e.chargeDRAM(addr, n)
+}
+
+// InvalidateFastPath drops the env's cached page state; the coherence layer
+// calls this indirectly by bumping the process epoch.
+func (e *Env) InvalidateFastPath() { e.fpValid = false }
+
+// dramStreams is the number of concurrent hardware-prefetch streams the
+// DRAM model tracks per thread (real cores track 8–32).
+const dramStreams = 8
+
+// chargeDRAM implements the line-granular DRAM model: a line that sits in
+// or directly after one of the thread's active access streams is served at
+// streaming bandwidth (the hardware prefetcher); anything else pays a full
+// random DRAM access and starts a new stream.
+func (e *Env) chargeDRAM(addr mem.Addr, n int) {
+	cfg := &e.P.M.Cfg.HW
+	lb := uint64(cfg.DRAMLineBytes)
+	firstLine := uint64(addr) / lb
+	lastLine := (uint64(addr) + uint64(n) - 1) / lb
+	if e.l2 == nil && cfg.CacheLines > 0 {
+		e.l2 = make([]uint64, cfg.CacheLines)
+	}
+	mask := uint64(len(e.l2) - 1)
+	var ns float64
+lines:
+	for l := firstLine; l <= lastLine; l++ {
+		for i := 0; i < e.nStream; i++ {
+			switch e.streams[i] {
+			case l:
+				continue lines // still in this line: effectively L1
+			case l - 1:
+				ns += cfg.DRAMSeqLineNs
+				e.streams[i] = l
+				if e.l2 != nil {
+					e.l2[l&mask] = l
+				}
+				continue lines
+			}
+		}
+		// Not on a stream: an on-chip cache hit if the line was touched
+		// recently, a full DRAM access otherwise; either way a new stream
+		// starts (replace round-robin).
+		if e.l2 != nil && e.l2[l&mask] == l {
+			ns += cfg.CacheHitNs
+		} else {
+			ns += cfg.DRAMRandNs
+			if e.l2 != nil {
+				e.l2[l&mask] = l
+			}
+		}
+		if e.nStream < dramStreams {
+			e.streams[e.nStream] = l
+			e.nStream++
+		} else {
+			e.streams[e.sClock] = l
+			e.sClock = (e.sClock + 1) % dramStreams
+		}
+	}
+	if ns > 0 {
+		if e.Dilation != nil {
+			ns *= e.Dilation()
+		}
+		e.T.AdvanceNs(ns)
+	}
+}
+
+// ReadU64 reads a uint64 through the paging model.
+func (e *Env) ReadU64(a mem.Addr) uint64 {
+	e.touch(a, 8, false)
+	return e.P.Space.ReadU64(a)
+}
+
+// WriteU64 writes a uint64 through the paging model.
+func (e *Env) WriteU64(a mem.Addr, v uint64) {
+	e.touch(a, 8, true)
+	e.P.Space.WriteU64(a, v)
+}
+
+// ReadI64 reads an int64.
+func (e *Env) ReadI64(a mem.Addr) int64 { return int64(e.ReadU64(a)) }
+
+// WriteI64 writes an int64.
+func (e *Env) WriteI64(a mem.Addr, v int64) { e.WriteU64(a, uint64(v)) }
+
+// ReadF64 reads a float64.
+func (e *Env) ReadF64(a mem.Addr) float64 {
+	e.touch(a, 8, false)
+	return e.P.Space.ReadF64(a)
+}
+
+// WriteF64 writes a float64.
+func (e *Env) WriteF64(a mem.Addr, v float64) {
+	e.touch(a, 8, true)
+	e.P.Space.WriteF64(a, v)
+}
+
+// ReadU32 reads a uint32.
+func (e *Env) ReadU32(a mem.Addr) uint32 {
+	e.touch(a, 4, false)
+	return e.P.Space.ReadU32(a)
+}
+
+// WriteU32 writes a uint32.
+func (e *Env) WriteU32(a mem.Addr, v uint32) {
+	e.touch(a, 4, true)
+	e.P.Space.WriteU32(a, v)
+}
+
+// ReadI32 reads an int32.
+func (e *Env) ReadI32(a mem.Addr) int32 { return int32(e.ReadU32(a)) }
+
+// WriteI32 writes an int32.
+func (e *Env) WriteI32(a mem.Addr, v int32) { e.WriteU32(a, uint32(v)) }
+
+// ReadU8 reads one byte.
+func (e *Env) ReadU8(a mem.Addr) byte {
+	e.touch(a, 1, false)
+	return e.P.Space.ReadU8(a)
+}
+
+// WriteU8 writes one byte.
+func (e *Env) WriteU8(a mem.Addr, v byte) {
+	e.touch(a, 1, true)
+	e.P.Space.WriteU8(a, v)
+}
+
+// ReadBytes copies n bytes at a into buf (len(buf) == n).
+func (e *Env) ReadBytes(a mem.Addr, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	e.touch(a, len(buf), false)
+	e.P.Space.ReadAt(a, buf)
+}
+
+// WriteBytes copies buf into the space at a.
+func (e *Env) WriteBytes(a mem.Addr, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	e.touch(a, len(buf), true)
+	e.P.Space.WriteAt(a, buf)
+}
+
+// computePager implements the monolithic and base-DDC compute-place paths.
+type computePager struct{}
+
+func (computePager) EnsurePage(e *Env, pg mem.PageID, write bool) {
+	p := e.P
+	if !p.M.Cfg.Disaggregated {
+		ensureLocal(e, pg, write)
+		return
+	}
+	if w, _, ok := p.Cache.Lookup(pg); ok {
+		p.stats.CacheHits++
+		if write {
+			if !w {
+				upgradeWrite(e, pg)
+			}
+			p.Cache.MarkDirty(pg)
+		}
+		return
+	}
+	p.stats.CacheMisses++
+	remoteFault(e, pg, write)
+}
+
+// ensureLocal is the monolithic path: free when DRAM is unlimited,
+// otherwise an OS page cache over the local SSD.
+func ensureLocal(e *Env, pg mem.PageID, write bool) {
+	p := e.P
+	if p.Cache == nil {
+		return
+	}
+	if _, _, ok := p.Cache.Lookup(pg); ok {
+		p.stats.CacheHits++
+		if write {
+			p.Cache.MarkDirty(pg)
+		}
+		return
+	}
+	p.stats.CacheMisses++
+	p.stats.SSDFaults++
+	e.T.AdvanceNs(p.M.Cfg.HW.FaultHandleNs)
+	p.M.SSD.ReadPage(e.T, uint64(pg))
+	for _, v := range p.Cache.Insert(pg, true, write) {
+		if v.Dirty {
+			p.M.SSD.WritePage(e.T, uint64(v.Page))
+		}
+	}
+	p.Epoch++
+}
+
+// upgradeWrite grants the compute pool write permission on a page it holds
+// read-only. Outside pushdown the compute pool is the only writer, so the
+// upgrade is a local page-table operation; during pushdown the TELEPORT
+// hooks perform the coherence round trip (Figure 9, (R,R) → (W,∅)).
+func upgradeWrite(e *Env, pg mem.PageID) {
+	p := e.P
+	p.stats.Upgrades++
+	if p.hooks != nil {
+		p.hooks.ComputeUpgrade(e.T, pg)
+	}
+	p.Cache.SetWritable(pg, true)
+	p.Epoch++
+}
+
+// remoteFault pages pg in from the memory pool (§2.1's fault path),
+// applying the pushdown hook and the base-DDC sequential prefetch.
+func remoteFault(e *Env, pg mem.PageID, write bool) {
+	p := e.P
+	cfg := &p.M.Cfg.HW
+	p.stats.RemoteFaults++
+	p.M.Trace.Add(trace.Event{At: e.T.Now(), Kind: trace.KindRemoteFault, Page: uint64(pg), Arg: b2i(write), Who: e.T.Name()})
+	p.M.Fabric.RoundTrip(e.T, faultReqBytes, pageRespBytes, netmodel.ClassPageFault)
+	e.T.AdvanceNs(cfg.FaultHandleNs)
+	p.EnsureInPool(e.T, pg, write)
+	if p.hooks != nil {
+		p.hooks.ComputeFaulted(e.T, pg, write)
+	}
+	evictAll(e, p.Cache.Insert(pg, write, write))
+
+	// Sequential prefetch (base DDC only; suppressed during pushdown, when
+	// the coherence protocol owns the page tables). The controller tracks
+	// a few fault streams so interleaved scans still prefetch.
+	depth := p.M.Cfg.PrefetchDepth
+	if depth > 0 && p.hooks == nil && p.seqFault(pg) {
+		_, last, ok := p.Space.Extent()
+		for i := 1; i <= depth; i++ {
+			next := pg + mem.PageID(i)
+			if !ok || next > last || p.Cache.Contains(next) {
+				break
+			}
+			if p.PoolRes != nil && !p.PoolRes.Contains(next) {
+				break // don't drag the storage pool into a prefetch
+			}
+			p.stats.Prefetched++
+			e.T.AdvanceNs(float64(mem.PageSize) / cfg.NetBandwidthGBs)
+			evictAll(e, p.Cache.Insert(next, false, false))
+		}
+	}
+	p.noteFault(pg)
+	p.Epoch++
+}
+
+// evictAll charges write-backs for dirty victims.
+func evictAll(e *Env, victims []Evicted) {
+	for _, v := range victims {
+		e.P.M.Trace.Add(trace.Event{At: e.T.Now(), Kind: trace.KindEviction, Page: uint64(v.Page), Arg: b2i(v.Dirty), Who: e.T.Name()})
+		if v.Dirty {
+			e.P.stats.Writebacks++
+			e.P.M.Fabric.Send(e.T, writebackBytes, netmodel.ClassWriteback)
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

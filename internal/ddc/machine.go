@@ -1,0 +1,248 @@
+package ddc
+
+import (
+	"teleport/internal/mem"
+	"teleport/internal/netmodel"
+	"teleport/internal/sim"
+	"teleport/internal/storage"
+	"teleport/internal/trace"
+)
+
+// Wire sizes for the paging protocol.
+const (
+	faultReqBytes  = 48                // page-fault request header
+	pageRespBytes  = mem.PageSize + 32 // page payload + response header
+	ctrlMsgBytes   = 48                // permission/invalidation control message
+	writebackBytes = mem.PageSize + 32
+)
+
+// Machine is one (possibly disaggregated) machine: the fabric, the storage
+// device, and the configuration shared by its processes.
+type Machine struct {
+	Cfg    Config
+	Fabric *netmodel.Fabric
+	SSD    *storage.SSD
+
+	// Trace, when non-nil, receives paging/coherence/pushdown events (see
+	// internal/trace). Tracing costs no virtual time.
+	Trace *trace.Ring
+}
+
+// NewMachine validates cfg and assembles the machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg}
+	m.Fabric = netmodel.New(&m.Cfg.HW)
+	m.SSD = storage.New(&m.Cfg.HW, mem.PageSize)
+	return m, nil
+}
+
+// MustMachine is NewMachine for known-good configs (presets and tests).
+func MustMachine(cfg Config) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// PushHooks is implemented by the TELEPORT runtime (internal/core). While a
+// pushdown executes, the compute pool's fault path calls these so the
+// coherence protocol can keep the temporary context's page table consistent
+// (Figure 9, lines 3–10 and 18–25).
+type PushHooks interface {
+	// ComputeFaulted runs after the compute pool obtained page p with the
+	// given permission via the normal fault path (the memory controller
+	// piggybacks the temporary-context invalidation on the fault reply).
+	ComputeFaulted(t *sim.Thread, p mem.PageID, write bool)
+
+	// ComputeUpgrade runs when the compute pool holds p read-only and wants
+	// write permission; the hook performs the coherence round trip and
+	// invalidates the temporary context's copy. It returns once the compute
+	// pool may write.
+	ComputeUpgrade(t *sim.Thread, p mem.PageID)
+}
+
+// Process is a user process whose address space lives in the memory pool.
+type Process struct {
+	M     *Machine
+	Space *mem.Space
+
+	// Cache is the compute pool's local page cache (disaggregated) or the
+	// monolithic page cache over the SSD (LocalMemBytes > 0); nil when
+	// local memory is unlimited.
+	Cache *PageCache
+
+	// PoolRes is the memory pool's DRAM residency in front of the storage
+	// pool; nil when the pool is unbounded.
+	PoolRes *PageCache
+
+	// Epoch increments whenever residency or permission state changes, so
+	// Env fast paths can cache "this page is fine" safely.
+	Epoch uint64
+
+	hooks PushHooks
+
+	// Recent fault pages: the controller's sequential-stream detector for
+	// prefetching (tracks a few concurrent streams, like the DRAM model).
+	faultStreams [4]mem.PageID
+	nFaultStream int
+
+	stats ProcStats
+}
+
+// ProcStats aggregates per-process paging activity.
+type ProcStats struct {
+	CacheHits      int64
+	CacheMisses    int64
+	RemoteFaults   int64 // pages demand-fetched from the memory pool
+	Prefetched     int64
+	Writebacks     int64 // dirty evictions written back over the fabric
+	StorageInFault int64 // memory pool pages faulted in from storage
+	StorageEvicts  int64
+	SSDFaults      int64 // monolithic swap-ins
+	Upgrades       int64 // read→write permission upgrades
+}
+
+// NewProcess creates a process on m with an empty address space.
+func (m *Machine) NewProcess() *Process {
+	p := &Process{M: m, Space: mem.NewSpace()}
+	switch {
+	case m.Cfg.Disaggregated:
+		p.Cache = NewPageCache(m.Cfg.CachePages())
+		if m.Cfg.MemoryPoolBytes > 0 {
+			p.PoolRes = NewPageCache(int(m.Cfg.MemoryPoolBytes / mem.PageSize))
+		}
+	case m.Cfg.LocalMemBytes > 0:
+		p.Cache = NewPageCache(int(m.Cfg.LocalMemBytes / mem.PageSize))
+	}
+	return p
+}
+
+// SetPushHooks installs (or clears, with nil) the TELEPORT coherence hooks.
+func (p *Process) SetPushHooks(h PushHooks) {
+	p.hooks = h
+	p.Epoch++
+}
+
+// Hooks returns the installed coherence hooks, if any.
+func (p *Process) Hooks() PushHooks { return p.hooks }
+
+// Stats returns the accumulated paging statistics.
+func (p *Process) Stats() ProcStats { return p.stats }
+
+// ResetStats clears the paging statistics (used between experiment phases).
+func (p *Process) ResetStats() { p.stats = ProcStats{} }
+
+// seqFault reports whether pg directly extends one of the recent fault
+// streams (prefetch trigger). Prefetched pages themselves extend the stream
+// (pg matching stream+k for the prefetch window still counts via noteFault
+// updates on demand faults only).
+func (p *Process) seqFault(pg mem.PageID) bool {
+	for i := 0; i < p.nFaultStream; i++ {
+		d := int64(pg) - int64(p.faultStreams[i])
+		if d >= 1 && d <= 8 {
+			return true
+		}
+	}
+	return false
+}
+
+// noteFault records a demand fault in the stream tracker.
+func (p *Process) noteFault(pg mem.PageID) {
+	for i := 0; i < p.nFaultStream; i++ {
+		d := int64(pg) - int64(p.faultStreams[i])
+		if d >= 0 && d <= 8 {
+			p.faultStreams[i] = pg
+			return
+		}
+	}
+	if p.nFaultStream < len(p.faultStreams) {
+		p.faultStreams[p.nFaultStream] = pg
+		p.nFaultStream++
+		return
+	}
+	copy(p.faultStreams[:], p.faultStreams[1:])
+	p.faultStreams[len(p.faultStreams)-1] = pg
+}
+
+// ResizeCache rebounds the compute-local cache (or the monolithic page
+// cache) to the given byte budget, typically after loading a dataset so a
+// platform's cache is a fixed fraction of the working set. It is a no-op on
+// machines with unlimited local memory.
+func (p *Process) ResizeCache(bytes int64) {
+	if p.Cache == nil {
+		return
+	}
+	pages := int(bytes / mem.PageSize)
+	if pages < 1 {
+		pages = 1
+	}
+	p.Cache.SetCapacity(pages)
+	if p.M.Cfg.Disaggregated {
+		p.M.Cfg.ComputeCacheBytes = int64(pages) * mem.PageSize
+	} else {
+		p.M.Cfg.LocalMemBytes = int64(pages) * mem.PageSize
+	}
+	p.Epoch++
+}
+
+// ResizePool rebounds the memory pool's DRAM (Figure 15's sweep).
+func (p *Process) ResizePool(bytes int64) {
+	if !p.M.Cfg.Disaggregated {
+		return
+	}
+	pages := int(bytes / mem.PageSize)
+	if pages < 1 {
+		pages = 1
+	}
+	if p.PoolRes == nil {
+		p.PoolRes = NewPageCache(pages)
+	} else {
+		p.PoolRes.SetCapacity(pages)
+	}
+	p.M.Cfg.MemoryPoolBytes = int64(pages) * mem.PageSize
+	p.Epoch++
+}
+
+// EnsureInPool makes page pg resident in the memory pool's DRAM, paging it
+// in from the storage pool if necessary and charging t for the I/O. Write
+// marks the pool copy dirty (it will need a storage write-back on eviction).
+func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
+	if p.PoolRes == nil {
+		return // unbounded pool: always resident
+	}
+	if _, _, ok := p.PoolRes.Lookup(pg); ok {
+		if write {
+			p.PoolRes.MarkDirty(pg)
+		}
+		return
+	}
+	// Recursive fault to the storage pool (§2.1): controller message plus
+	// the device access.
+	p.stats.StorageInFault++
+	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindStorageFault, Page: uint64(pg), Who: t.Name()})
+	p.M.Fabric.RoundTrip(t, faultReqBytes, pageRespBytes, netmodel.ClassStorage)
+	t.AdvanceNs(p.M.Cfg.HW.FaultHandleNs)
+	p.M.SSD.ReadPage(t, uint64(pg))
+	for _, v := range p.PoolRes.Insert(pg, true, write) {
+		p.stats.StorageEvicts++
+		if v.Dirty {
+			p.M.Fabric.Send(t, writebackBytes, netmodel.ClassStorage)
+			p.M.SSD.WritePage(t, uint64(v.Page))
+		}
+	}
+	p.Epoch++
+}
+
+// WritebackPage models the compute pool flushing one dirty page to the
+// memory pool (eviction write-back, syncmem, eager sync).
+func (p *Process) WritebackPage(t *sim.Thread, pg mem.PageID) {
+	p.stats.Writebacks++
+	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindWriteback, Page: uint64(pg), Who: t.Name()})
+	p.M.Fabric.Send(t, writebackBytes, netmodel.ClassWriteback)
+	p.Cache.ClearDirty(pg)
+	p.Epoch++
+}

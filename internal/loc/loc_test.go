@@ -1,0 +1,104 @@
+package loc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestModuleRootFindsGoMod(t *testing.T) {
+	root := moduleRoot(t)
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModuleRootFailsOutsideModule(t *testing.T) {
+	if _, err := ModuleRoot(t.TempDir()); err == nil {
+		t.Fatal("expected error outside a module")
+	}
+}
+
+func TestFuncLinesPlainFunction(t *testing.T) {
+	dir := t.TempDir()
+	src := `package x
+
+// F does something.
+func F() int {
+	a := 1
+	return a
+}
+`
+	path := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := FuncLines(path, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("FuncLines = %d, want 4", n)
+	}
+}
+
+func TestFuncLinesMethod(t *testing.T) {
+	dir := t.TempDir()
+	src := `package x
+
+type T struct{}
+
+func (t *T) M() {
+	_ = t
+}
+
+func M() {}
+`
+	path := filepath.Join(dir, "m.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := FuncLines(path, "T.M"); n != 3 {
+		t.Fatalf("method lines = %d, want 3", n)
+	}
+	if n, _ := FuncLines(path, "M"); n != 1 {
+		t.Fatalf("plain lines = %d, want 1", n)
+	}
+	if _, err := FuncLines(path, "Missing"); err == nil {
+		t.Fatal("expected error for missing function")
+	}
+}
+
+func TestDefaultEntriesResolveAndStaySmall(t *testing.T) {
+	root := moduleRoot(t)
+	rows, err := Count(root, DefaultEntries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (Figure 11)", len(rows))
+	}
+	for _, r := range rows {
+		if r.PushedCode <= 0 || r.CodeChange <= 0 {
+			t.Fatalf("row %+v has empty counts", r)
+		}
+		// The paper's point: pushed code stays under ~100 lines and
+		// integration changes stay in the low hundreds.
+		if r.PushedCode > 150 {
+			t.Fatalf("pushed code for %s = %d lines — too large to claim minimal modification",
+				r.Operator, r.PushedCode)
+		}
+		if r.CodeChange > 400 {
+			t.Fatalf("code change for %s = %d lines", r.Operator, r.CodeChange)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package mem implements the paged virtual memory that a disaggregated
+// process lives in: 4 KB pages, page-table entries with present/writable/
+// dirty bits, and a ground-truth address space holding the actual bytes.
+//
+// The bytes in a Space are the single physical copy of the process's data
+// (conceptually, the frames in the memory pool). Residency layers — the
+// compute-local page cache, the memory pool's DRAM-vs-storage residency, and
+// TELEPORT's temporary-context page table — are cost/permission models
+// maintained by internal/ddc and internal/core on top of this package.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Page geometry.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+)
+
+// Addr is a virtual address in a simulated process.
+type Addr uint64
+
+// PageID identifies one virtual page.
+type PageID uint64
+
+// PageOf returns the page containing a.
+func PageOf(a Addr) PageID { return PageID(a >> PageShift) }
+
+// PageBase returns the first address of page p.
+func PageBase(p PageID) Addr { return Addr(p) << PageShift }
+
+// PageSpan returns the pages [first, last] covered by the byte range
+// [addr, addr+n).
+func PageSpan(addr Addr, n int) (first, last PageID) {
+	if n <= 0 {
+		p := PageOf(addr)
+		return p, p
+	}
+	return PageOf(addr), PageOf(addr + Addr(n) - 1)
+}
+
+// PTE is a page-table entry. Present and Writable drive the coherence
+// protocol; Dirty tracks pending write-back state (§4.1: "Evictions ...
+// preserve the correct page table entry dirty bits").
+type PTE struct {
+	Present  bool
+	Writable bool
+	Dirty    bool
+}
+
+// PageTable maps pages to entries. Pages without an entry are absent (∅ in
+// the paper's state notation).
+type PageTable struct {
+	m map[PageID]*PTE
+}
+
+// NewPageTable returns an empty table.
+func NewPageTable() *PageTable { return &PageTable{m: make(map[PageID]*PTE)} }
+
+// Lookup returns the entry for p, or (nil, false).
+func (pt *PageTable) Lookup(p PageID) (*PTE, bool) {
+	e, ok := pt.m[p]
+	return e, ok
+}
+
+// Ensure returns the entry for p, creating an all-false entry if absent.
+func (pt *PageTable) Ensure(p PageID) *PTE {
+	if e, ok := pt.m[p]; ok {
+		return e
+	}
+	e := &PTE{}
+	pt.m[p] = e
+	return e
+}
+
+// Remove deletes the entry for p.
+func (pt *PageTable) Remove(p PageID) { delete(pt.m, p) }
+
+// Len returns the number of entries.
+func (pt *PageTable) Len() int { return len(pt.m) }
+
+// Range calls f for every entry until f returns false. Iteration order is
+// unspecified; callers that need determinism must sort.
+func (pt *PageTable) Range(f func(PageID, *PTE) bool) {
+	for p, e := range pt.m {
+		if !f(p, e) {
+			return
+		}
+	}
+}
+
+// Clone deep-copies the table (Figure 8 line 7: "Clone of the caller's full
+// page table").
+func (pt *PageTable) Clone() *PageTable {
+	c := &PageTable{m: make(map[PageID]*PTE, len(pt.m))}
+	for p, e := range pt.m {
+		cp := *e
+		c.m[p] = &cp
+	}
+	return c
+}
+
+// Region records one named allocation for diagnostics.
+type Region struct {
+	Name string
+	Base Addr
+	Size int64
+}
+
+// Space is a process's ground-truth address space: a bump allocator over
+// demand-created 4 KB frames.
+type Space struct {
+	next      Addr
+	frames    map[PageID][]byte
+	allocated int64
+	regions   []Region
+}
+
+// spaceBase leaves the low addresses unused so that Addr(0) can mean "nil".
+const spaceBase Addr = 1 << 20
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{next: spaceBase, frames: make(map[PageID][]byte)}
+}
+
+// Alloc reserves n bytes, 64-byte aligned (so scalar fields never straddle
+// cache lines and 8-byte values never straddle pages), and returns the base
+// address. Frames materialise lazily on first touch.
+func (s *Space) Alloc(n int64, name string) Addr {
+	return s.alloc(n, 64, name)
+}
+
+// AllocPages reserves n bytes aligned to a page boundary. Used when distinct
+// data structures must not share pages (the inverse of the false-sharing
+// setup in Figure 7).
+func (s *Space) AllocPages(n int64, name string) Addr {
+	return s.alloc(n, PageSize, name)
+}
+
+func (s *Space) alloc(n, align int64, name string) Addr {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: Alloc(%d) of %q", n, name))
+	}
+	base := (Addr(s.next) + Addr(align-1)) &^ Addr(align-1)
+	s.next = base + Addr(n)
+	s.allocated += n
+	s.regions = append(s.regions, Region{Name: name, Base: base, Size: n})
+	return base
+}
+
+// Allocated returns the total bytes allocated so far.
+func (s *Space) Allocated() int64 { return s.allocated }
+
+// Regions returns the allocation map.
+func (s *Space) Regions() []Region { return s.regions }
+
+// Pages returns the number of distinct pages spanned by allocations.
+func (s *Space) Pages() int64 {
+	if s.next == spaceBase {
+		return 0
+	}
+	return int64(PageOf(s.next-1)-PageOf(spaceBase)) + 1
+}
+
+// Extent returns the first and last allocated pages. ok is false when
+// nothing has been allocated yet.
+func (s *Space) Extent() (first, last PageID, ok bool) {
+	if s.next == spaceBase {
+		return 0, 0, false
+	}
+	return PageOf(spaceBase), PageOf(s.next - 1), true
+}
+
+// frame returns (creating if needed) the backing bytes of page p.
+func (s *Space) frame(p PageID) []byte {
+	f, ok := s.frames[p]
+	if !ok {
+		f = make([]byte, PageSize)
+		s.frames[p] = f
+	}
+	return f
+}
+
+// ReadAt copies len(buf) bytes starting at addr into buf, crossing page
+// boundaries as needed.
+func (s *Space) ReadAt(addr Addr, buf []byte) {
+	for len(buf) > 0 {
+		f := s.frame(PageOf(addr))
+		off := int(addr & (PageSize - 1))
+		n := copy(buf, f[off:])
+		buf = buf[n:]
+		addr += Addr(n)
+	}
+}
+
+// WriteAt copies buf into the space starting at addr.
+func (s *Space) WriteAt(addr Addr, buf []byte) {
+	for len(buf) > 0 {
+		f := s.frame(PageOf(addr))
+		off := int(addr & (PageSize - 1))
+		n := copy(f[off:], buf)
+		buf = buf[n:]
+		addr += Addr(n)
+	}
+}
+
+// within reports whether an access of size n starting at addr stays inside
+// one page (the fast path for scalar accessors).
+func within(addr Addr, n int) bool {
+	return int(addr&(PageSize-1))+n <= PageSize
+}
+
+// ReadU64 reads a little-endian uint64 at addr.
+func (s *Space) ReadU64(addr Addr) uint64 {
+	if within(addr, 8) {
+		f := s.frame(PageOf(addr))
+		off := addr & (PageSize - 1)
+		return binary.LittleEndian.Uint64(f[off:])
+	}
+	var b [8]byte
+	s.ReadAt(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 writes a little-endian uint64 at addr.
+func (s *Space) WriteU64(addr Addr, v uint64) {
+	if within(addr, 8) {
+		f := s.frame(PageOf(addr))
+		off := addr & (PageSize - 1)
+		binary.LittleEndian.PutUint64(f[off:], v)
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.WriteAt(addr, b[:])
+}
+
+// ReadU32 reads a little-endian uint32 at addr.
+func (s *Space) ReadU32(addr Addr) uint32 {
+	if within(addr, 4) {
+		f := s.frame(PageOf(addr))
+		off := addr & (PageSize - 1)
+		return binary.LittleEndian.Uint32(f[off:])
+	}
+	var b [4]byte
+	s.ReadAt(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32 writes a little-endian uint32 at addr.
+func (s *Space) WriteU32(addr Addr, v uint32) {
+	if within(addr, 4) {
+		f := s.frame(PageOf(addr))
+		off := addr & (PageSize - 1)
+		binary.LittleEndian.PutUint32(f[off:], v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	s.WriteAt(addr, b[:])
+}
+
+// ReadU8 reads one byte.
+func (s *Space) ReadU8(addr Addr) byte {
+	return s.frame(PageOf(addr))[addr&(PageSize-1)]
+}
+
+// WriteU8 writes one byte.
+func (s *Space) WriteU8(addr Addr, v byte) {
+	s.frame(PageOf(addr))[addr&(PageSize-1)] = v
+}
+
+// ReadI64 reads an int64.
+func (s *Space) ReadI64(addr Addr) int64 { return int64(s.ReadU64(addr)) }
+
+// WriteI64 writes an int64.
+func (s *Space) WriteI64(addr Addr, v int64) { s.WriteU64(addr, uint64(v)) }
+
+// ReadF64 reads a float64.
+func (s *Space) ReadF64(addr Addr) float64 { return math.Float64frombits(s.ReadU64(addr)) }
+
+// WriteF64 writes a float64.
+func (s *Space) WriteF64(addr Addr, v float64) { s.WriteU64(addr, math.Float64bits(v)) }
+
+// ReadI32 reads an int32.
+func (s *Space) ReadI32(addr Addr) int32 { return int32(s.ReadU32(addr)) }
+
+// WriteI32 writes an int32.
+func (s *Space) WriteI32(addr Addr, v int32) { s.WriteU32(addr, uint32(v)) }

@@ -1,0 +1,105 @@
+// Package netmodel models the data center fabric that connects resource
+// pools: an RDMA-like network with per-message latency, bandwidth-
+// proportional transfer time, a LITE-style RPC handler cost, FIFO ordering,
+// and per-class message accounting. It also implements the run-length
+// encoding of resident-page lists that TELEPORT uses to fit the pushdown
+// request into a single RDMA message (§6).
+package netmodel
+
+import (
+	"fmt"
+
+	"teleport/internal/hw"
+	"teleport/internal/sim"
+)
+
+// Class labels traffic so experiments can report, e.g., the number of
+// coherence messages (Figure 22) separately from page-fault traffic.
+type Class int
+
+// Traffic classes.
+const (
+	ClassPageFault Class = iota // demand paging compute←memory
+	ClassWriteback              // dirty page eviction compute→memory
+	ClassCoherence              // invalidations/downgrades during pushdown
+	ClassPushdown               // pushdown request/response RPCs
+	ClassStorage                // memory pool ↔ storage pool paging
+	ClassSync                   // syncmem / eager synchronization transfers
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"pagefault", "writeback", "coherence", "pushdown", "storage", "sync",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if c < 0 || c >= numClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Stat is a message/byte counter pair.
+type Stat struct {
+	Msgs  int64
+	Bytes int64
+}
+
+// Fabric is the shared network connecting the pools of one machine. All
+// methods charge virtual time to the calling simulated thread; because the
+// scheduler runs one simulated thread at a time, no locking is needed.
+type Fabric struct {
+	cfg   *hw.Config
+	stats [numClasses]Stat
+}
+
+// New returns a fabric using the given hardware parameters.
+func New(cfg *hw.Config) *Fabric { return &Fabric{cfg: cfg} }
+
+// Send models a one-way message of the given size: latency + transfer time,
+// charged to t.
+func (f *Fabric) Send(t *sim.Thread, bytes int, class Class) {
+	f.count(class, bytes)
+	t.AdvanceNs(f.cfg.MsgNs(bytes))
+}
+
+// RoundTrip models a request/response RPC including remote handler
+// processing, charged to t.
+func (f *Fabric) RoundTrip(t *sim.Thread, reqBytes, respBytes int, class Class) {
+	f.count(class, reqBytes)
+	f.count(class, respBytes)
+	t.AdvanceNs(f.cfg.RoundTripNs(reqBytes, respBytes))
+}
+
+// Async counts a message and returns its cost without charging any thread;
+// callers use it when the transfer overlaps with other work (e.g. a
+// write-back that the evicting thread does not wait for beyond posting).
+func (f *Fabric) Async(bytes int, class Class) sim.Time {
+	f.count(class, bytes)
+	return f.cfg.MsgTime(bytes)
+}
+
+func (f *Fabric) count(class Class, bytes int) {
+	f.stats[class].Msgs++
+	f.stats[class].Bytes += int64(bytes)
+}
+
+// Stats returns the counters for one class.
+func (f *Fabric) Stats(class Class) Stat { return f.stats[class] }
+
+// Total returns the aggregate counters across all classes.
+func (f *Fabric) Total() Stat {
+	var s Stat
+	for _, st := range f.stats {
+		s.Msgs += st.Msgs
+		s.Bytes += st.Bytes
+	}
+	return s
+}
+
+// Reset clears all counters (used between experiment phases).
+func (f *Fabric) Reset() { f.stats = [numClasses]Stat{} }
+
+// Config exposes the underlying hardware parameters.
+func (f *Fabric) Config() *hw.Config { return f.cfg }

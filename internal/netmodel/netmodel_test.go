@@ -1,0 +1,186 @@
+package netmodel
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"teleport/internal/hw"
+	"teleport/internal/sim"
+)
+
+func testFabric() (*Fabric, *sim.Thread) {
+	cfg := hw.Testbed()
+	return New(&cfg), sim.NewThread("net-test")
+}
+
+func TestSendChargesLatencyPlusBandwidth(t *testing.T) {
+	f, th := testFabric()
+	f.Send(th, 4096, ClassPageFault)
+	want := f.Config().MsgTime(4096)
+	if th.Now() != want {
+		t.Fatalf("Send charged %v, want %v", th.Now(), want)
+	}
+	if s := f.Stats(ClassPageFault); s.Msgs != 1 || s.Bytes != 4096 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRoundTripCountsBothMessages(t *testing.T) {
+	f, th := testFabric()
+	f.RoundTrip(th, 100, 4096, ClassPushdown)
+	if s := f.Stats(ClassPushdown); s.Msgs != 2 || s.Bytes != 4196 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if th.Now() <= 0 {
+		t.Fatal("round trip charged nothing")
+	}
+}
+
+func TestAsyncCountsButDoesNotCharge(t *testing.T) {
+	f, th := testFabric()
+	cost := f.Async(4096, ClassWriteback)
+	if th.Now() != 0 {
+		t.Fatal("Async must not charge the thread")
+	}
+	if cost != f.Config().MsgTime(4096) {
+		t.Fatalf("Async cost = %v", cost)
+	}
+	if s := f.Stats(ClassWriteback); s.Msgs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTotalAndReset(t *testing.T) {
+	f, th := testFabric()
+	f.Send(th, 10, ClassCoherence)
+	f.Send(th, 20, ClassSync)
+	if tot := f.Total(); tot.Msgs != 2 || tot.Bytes != 30 {
+		t.Fatalf("total = %+v", tot)
+	}
+	f.Reset()
+	if tot := f.Total(); tot.Msgs != 0 || tot.Bytes != 0 {
+		t.Fatalf("after reset total = %+v", tot)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassCoherence.String() != "coherence" {
+		t.Fatalf("got %q", ClassCoherence.String())
+	}
+	if Class(99).String() != "class(99)" {
+		t.Fatalf("got %q", Class(99).String())
+	}
+}
+
+func TestEncodeRunsBasic(t *testing.T) {
+	entries := []PageEntry{
+		{0, true}, {1, true}, {2, true}, // one writable run
+		{3, false}, {4, false}, // permission change splits the run
+		{10, false}, // gap splits the run
+	}
+	runs, err := EncodeRuns(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PageRun{{0, 3, true}, {3, 2, false}, {10, 1, false}}
+	if !reflect.DeepEqual(runs, want) {
+		t.Fatalf("runs = %+v, want %+v", runs, want)
+	}
+}
+
+func TestEncodeRunsUnsortedInput(t *testing.T) {
+	runs, err := EncodeRuns([]PageEntry{{5, false}, {3, false}, {4, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Start != 3 || runs[0].Count != 3 {
+		t.Fatalf("runs = %+v", runs)
+	}
+}
+
+func TestEncodeRunsDuplicateRejected(t *testing.T) {
+	if _, err := EncodeRuns([]PageEntry{{1, true}, {1, false}}); err == nil {
+		t.Fatal("expected error for duplicate page")
+	}
+}
+
+func TestEncodeRunsEmpty(t *testing.T) {
+	runs, err := EncodeRuns(nil)
+	if err != nil || runs != nil {
+		t.Fatalf("EncodeRuns(nil) = %v, %v", runs, err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	runs := []PageRun{{0, 3, true}, {100, 1, false}}
+	buf := MarshalRuns(runs)
+	if len(buf) != RunsWireSize(runs) {
+		t.Fatalf("wire size mismatch: %d vs %d", len(buf), RunsWireSize(runs))
+	}
+	got, err := UnmarshalRuns(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, runs) {
+		t.Fatalf("round trip: %+v vs %+v", got, runs)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalRuns([]byte{1}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := UnmarshalRuns([]byte{1, 0, 0, 0, 9}); err == nil {
+		t.Fatal("truncated run accepted")
+	}
+}
+
+// Property: encode → decode is the identity on duplicate-free page sets.
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		seen := map[uint64]bool{}
+		var entries []PageEntry
+		for i := 0; i < int(n); i++ {
+			id := uint64(r.Intn(2000))
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			entries = append(entries, PageEntry{ID: id, Writable: r.Intn(2) == 0})
+		}
+		runs, err := EncodeRuns(entries)
+		if err != nil {
+			return false
+		}
+		got := DecodeRuns(runs)
+		sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+		if len(entries) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRLECompressionOnDenseList confirms the §6 observation: a dense
+// resident set compresses by far more than 20×.
+func TestRLECompressionOnDenseList(t *testing.T) {
+	entries := make([]PageEntry, 262144) // 1 GB of resident 4 KB pages
+	for i := range entries {
+		entries[i] = PageEntry{ID: uint64(i), Writable: i%4096 < 2048}
+	}
+	runs, err := EncodeRuns(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(RawListWireSize(len(entries))) / float64(RunsWireSize(runs))
+	if ratio < 20 {
+		t.Fatalf("compression ratio = %.1f, want ≥ 20 (paper §6)", ratio)
+	}
+}

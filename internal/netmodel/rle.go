@@ -1,0 +1,113 @@
+package netmodel
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+)
+
+// PageEntry is one resident page in the compute pool together with its write
+// permission, as transmitted at the start of a pushdown call (§4.1:
+// "the compute pool begins by building a list of memory pages ... and their
+// write permissions").
+type PageEntry struct {
+	ID       uint64
+	Writable bool
+}
+
+// PageRun is a run-length-encoded range of consecutive pages sharing a
+// permission (§6: RLE gives ~20× smaller resident-page lists, letting the
+// whole list ride in a single RDMA message).
+type PageRun struct {
+	Start    uint64
+	Count    uint32
+	Writable bool
+}
+
+// runWireBytes is the marshalled size of one run: 8 (start) + 4 (count) + 1
+// (flags).
+const runWireBytes = 13
+
+// EncodeRuns compresses a page list into runs. The input is sorted by page
+// ID internally; duplicate IDs are invalid and trigger an error.
+func EncodeRuns(entries []PageEntry) ([]PageRun, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	sorted := make([]PageEntry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	runs := make([]PageRun, 0, 8)
+	cur := PageRun{Start: sorted[0].ID, Count: 1, Writable: sorted[0].Writable}
+	for _, e := range sorted[1:] {
+		switch {
+		case e.ID == cur.Start+uint64(cur.Count) && e.Writable == cur.Writable:
+			cur.Count++
+		case e.ID < cur.Start+uint64(cur.Count):
+			return nil, errors.New("netmodel: duplicate page in list")
+		default:
+			runs = append(runs, cur)
+			cur = PageRun{Start: e.ID, Count: 1, Writable: e.Writable}
+		}
+	}
+	return append(runs, cur), nil
+}
+
+// DecodeRuns expands runs back into an explicit, sorted page list.
+func DecodeRuns(runs []PageRun) []PageEntry {
+	var n int
+	for _, r := range runs {
+		n += int(r.Count)
+	}
+	out := make([]PageEntry, 0, n)
+	for _, r := range runs {
+		for i := uint32(0); i < r.Count; i++ {
+			out = append(out, PageEntry{ID: r.Start + uint64(i), Writable: r.Writable})
+		}
+	}
+	return out
+}
+
+// MarshalRuns serialises runs into the on-wire format used to size the
+// pushdown request message.
+func MarshalRuns(runs []PageRun) []byte {
+	buf := make([]byte, 4+len(runs)*runWireBytes)
+	binary.LittleEndian.PutUint32(buf, uint32(len(runs)))
+	off := 4
+	for _, r := range runs {
+		binary.LittleEndian.PutUint64(buf[off:], r.Start)
+		binary.LittleEndian.PutUint32(buf[off+8:], r.Count)
+		if r.Writable {
+			buf[off+12] = 1
+		}
+		off += runWireBytes
+	}
+	return buf
+}
+
+// UnmarshalRuns parses the on-wire format.
+func UnmarshalRuns(buf []byte) ([]PageRun, error) {
+	if len(buf) < 4 {
+		return nil, errors.New("netmodel: short run list")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) != 4+n*runWireBytes {
+		return nil, errors.New("netmodel: run list length mismatch")
+	}
+	runs := make([]PageRun, n)
+	off := 4
+	for i := range runs {
+		runs[i].Start = binary.LittleEndian.Uint64(buf[off:])
+		runs[i].Count = binary.LittleEndian.Uint32(buf[off+8:])
+		runs[i].Writable = buf[off+12] == 1
+		off += runWireBytes
+	}
+	return runs, nil
+}
+
+// RunsWireSize returns the marshalled size without allocating.
+func RunsWireSize(runs []PageRun) int { return 4 + len(runs)*runWireBytes }
+
+// RawListWireSize is the size the list would have without RLE (9 bytes per
+// page: ID + permission), used to report the compression ratio from §6.
+func RawListWireSize(numPages int) int { return 4 + numPages*9 }

@@ -1,0 +1,129 @@
+// Package profile provides the instrumented operator executor shared by all
+// three data-intensive systems (DBMS operators, graph phases, MapReduce
+// sub-phases): it runs each named operator either locally or Teleported to
+// the memory pool and records a per-operator profile (execution time plus
+// remote memory traffic) — the instrumentation behind Figures 10, 12, 13
+// and 18.
+package profile
+
+import (
+	"sort"
+
+	"teleport/internal/core"
+	"teleport/internal/ddc"
+	"teleport/internal/sim"
+)
+
+// Exec runs operators on one simulated thread, optionally Teleporting named
+// operators to the memory pool, and records a per-operator profile.
+type Exec struct {
+	T   *sim.Thread
+	P   *ddc.Process
+	RT  *core.Runtime // nil on monolithic platforms
+	Env *ddc.Env
+
+	// push holds the operator names to Teleport ("" = none). The level of
+	// pushdown (Figure 18) is exactly the size of this set.
+	push map[string]bool
+
+	// PushFlags are passed to every pushdown call.
+	PushFlags core.Flags
+
+	ops  []OpStat
+	byID map[string]int
+}
+
+// OpStat is one operator's accumulated profile.
+type OpStat struct {
+	Name       string
+	Time       sim.Time
+	RemoteMsgs int64
+	RemoteByte int64
+	Calls      int
+	Pushed     bool
+}
+
+// Intensity returns remote memory accesses per second of operator time —
+// the §7.4 pushdown-decision metric (RM/s).
+func (o OpStat) Intensity() float64 {
+	if o.Time <= 0 {
+		return 0
+	}
+	return float64(o.RemoteMsgs) / o.Time.Seconds()
+}
+
+// NewExec returns an executor for p on t. rt may be nil (no pushdown
+// possible, e.g. local execution).
+func NewExec(t *sim.Thread, p *ddc.Process, rt *core.Runtime) *Exec {
+	return &Exec{
+		T:    t,
+		P:    p,
+		RT:   rt,
+		Env:  p.NewEnv(t),
+		push: make(map[string]bool),
+		byID: make(map[string]int),
+	}
+}
+
+// Push marks operator names for Teleport pushdown.
+func (ex *Exec) Push(names ...string) *Exec {
+	for _, n := range names {
+		ex.push[n] = true
+	}
+	return ex
+}
+
+// Pushed reports whether an operator name is marked for pushdown.
+func (ex *Exec) Pushed(name string) bool { return ex.push[name] }
+
+// Run executes one operator: pushed down if marked (and a runtime exists),
+// locally otherwise, accumulating its profile either way.
+func (ex *Exec) Run(name string, fn func(env *ddc.Env)) {
+	start := ex.T.Now()
+	before := ex.P.M.Fabric.Total()
+	pushed := ex.push[name] && ex.RT != nil
+	if pushed {
+		if _, err := ex.RT.Pushdown(ex.T, fn, core.Options{Flags: ex.PushFlags}); err != nil {
+			panic("profile: pushdown failed: " + err.Error())
+		}
+	} else {
+		fn(ex.Env)
+	}
+	after := ex.P.M.Fabric.Total()
+	i, ok := ex.byID[name]
+	if !ok {
+		i = len(ex.ops)
+		ex.ops = append(ex.ops, OpStat{Name: name})
+		ex.byID[name] = i
+	}
+	o := &ex.ops[i]
+	o.Time += ex.T.Now() - start
+	o.RemoteMsgs += after.Msgs - before.Msgs
+	o.RemoteByte += after.Bytes - before.Bytes
+	o.Calls++
+	o.Pushed = o.Pushed || pushed
+}
+
+// Profile returns the per-operator stats in first-execution order.
+func (ex *Exec) Profile() []OpStat { return append([]OpStat(nil), ex.ops...) }
+
+// Total returns the summed operator time.
+func (ex *Exec) Total() sim.Time {
+	var t sim.Time
+	for _, o := range ex.ops {
+		t += o.Time
+	}
+	return t
+}
+
+// ByIntensity returns operator names sorted by descending memory intensity,
+// the ranking §7.4 pushes down by.
+func (ex *Exec) ByIntensity() []string {
+	ops := ex.Profile()
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Intensity() > ops[j].Intensity() })
+	names := make([]string, len(ops))
+	for i, o := range ops {
+		names[i] = o.Name
+	}
+	return names
+}

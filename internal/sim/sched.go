@@ -1,0 +1,151 @@
+package sim
+
+import "fmt"
+
+// Scheduler interleaves a set of simulated threads in virtual-time order.
+//
+// Exactly one simulated thread executes real Go code at any moment (baton
+// passing over channels), so shared simulator state needs no locking and
+// every run is deterministic. Whenever the running thread's clock moves more
+// than one quantum ahead of another runnable thread, it yields and the
+// scheduler resumes the thread that is furthest behind. Ties break by spawn
+// order.
+type Scheduler struct {
+	threads []*Thread
+	quantum Time
+	started bool
+}
+
+// DefaultQuantum is the scheduling hysteresis: a running thread yields only
+// once it is more than this far ahead of another runnable thread. A small
+// non-zero quantum keeps interleaving faithful at microsecond granularity
+// while avoiding a real context switch per simulated memory access.
+const DefaultQuantum = 2 * Microsecond
+
+// NewScheduler returns an empty scheduler with the default quantum.
+func NewScheduler() *Scheduler {
+	return &Scheduler{quantum: DefaultQuantum}
+}
+
+// SetQuantum overrides the scheduling hysteresis. Zero means strict
+// virtual-time order.
+func (s *Scheduler) SetQuantum(q Time) { s.quantum = q }
+
+// Spawn registers a new simulated thread running fn, starting at virtual
+// time `start`. It may be called before Run or by an already-running
+// simulated thread (in which case the new thread typically starts at the
+// spawner's current time).
+func (s *Scheduler) Spawn(name string, start Time, fn func(*Thread)) *Thread {
+	t := &Thread{
+		name:   name,
+		now:    start,
+		sched:  s,
+		index:  len(s.threads),
+		state:  stateReady,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	s.threads = append(s.threads, t)
+	go func() {
+		<-t.resume
+		fn(t)
+		t.state = stateDone
+		t.parked <- struct{}{}
+	}()
+	return t
+}
+
+// Run drives all spawned threads to completion and returns the maximum
+// finish time (the virtual makespan). It panics if all remaining threads are
+// blocked (a simulated deadlock) — that is always a bug in the model.
+func (s *Scheduler) Run() Time {
+	if s.started {
+		panic("sim: Scheduler.Run called twice")
+	}
+	s.started = true
+	for {
+		t := s.pickReady()
+		if t == nil {
+			for _, u := range s.threads {
+				if u.state == stateBlocked {
+					panic("sim: deadlock, thread blocked forever: " + u.name)
+				}
+			}
+			break
+		}
+		t.state = stateRunning
+		t.resume <- struct{}{}
+		<-t.parked
+	}
+	var end Time
+	for _, u := range s.threads {
+		end = MaxTime(end, u.now)
+	}
+	return end
+}
+
+// pickReady returns the runnable thread with the smallest clock, or nil.
+func (s *Scheduler) pickReady() *Thread {
+	var best *Thread
+	for _, t := range s.threads {
+		if t.state != stateReady {
+			continue
+		}
+		if best == nil || t.now < best.now {
+			best = t
+		}
+	}
+	return best
+}
+
+// maybeYield parks the running thread if another runnable thread has fallen
+// more than a quantum behind it.
+func (s *Scheduler) maybeYield(t *Thread) {
+	if t.state != stateRunning {
+		return
+	}
+	behind := false
+	for _, u := range s.threads {
+		if u != t && u.state == stateReady && u.now+s.quantum < t.now {
+			behind = true
+			break
+		}
+	}
+	if !behind {
+		return
+	}
+	t.state = stateReady
+	t.parked <- struct{}{}
+	<-t.resume
+	t.state = stateRunning
+}
+
+// block parks t until some other thread unblocks it.
+func (s *Scheduler) block(t *Thread) {
+	t.state = stateBlocked
+	t.parked <- struct{}{}
+	<-t.resume
+	t.state = stateRunning
+}
+
+// unblock makes u runnable with its clock advanced to at least `at`.
+func (s *Scheduler) unblock(u *Thread, at Time) {
+	if u.state != stateBlocked {
+		panic(fmt.Sprintf("sim: unblock of non-blocked thread %s", u.name))
+	}
+	if at > u.now {
+		u.now = at
+	}
+	u.state = stateReady
+}
+
+// RunParallel is a convenience wrapper: it runs n simulated threads created
+// by fn under a fresh scheduler and returns the makespan.
+func RunParallel(n int, name string, fn func(i int, t *Thread)) Time {
+	s := NewScheduler()
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("%s-%d", name, i), 0, func(t *Thread) { fn(i, t) })
+	}
+	return s.Run()
+}

@@ -1,0 +1,89 @@
+package sim
+
+// Thread is a simulated thread of execution. It owns a virtual clock that
+// advances as the thread charges costs for the work it performs. A Thread is
+// either standalone (created with NewThread, no interleaving) or attached to
+// a Scheduler, in which case Advance may yield control so that the scheduler
+// can run whichever thread is furthest behind in virtual time.
+type Thread struct {
+	name  string
+	now   Time
+	sched *Scheduler
+
+	// Scheduler bookkeeping (nil scheduler ⇒ unused).
+	index   int
+	state   threadState
+	resume  chan struct{}
+	parked  chan struct{}
+	blocked bool
+}
+
+type threadState int
+
+const (
+	stateReady threadState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// NewThread returns a standalone simulated thread starting at virtual time 0.
+// Standalone threads never yield; they are the fast path for single-threaded
+// workloads.
+func NewThread(name string) *Thread {
+	return &Thread{name: name}
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Now returns the thread's current virtual time.
+func (t *Thread) Now() Time { return t.now }
+
+// Advance charges d of virtual time to the thread. If the thread runs under
+// a scheduler and another runnable thread is now behind it, the thread
+// yields.
+func (t *Thread) Advance(d Time) {
+	if d < 0 {
+		panic("sim: negative advance")
+	}
+	t.now += d
+	if t.sched != nil {
+		t.sched.maybeYield(t)
+	}
+}
+
+// AdvanceTo moves the thread's clock forward to at least ts (it never moves
+// the clock backwards). Use it to model waiting for an event that completes
+// at a known virtual time.
+func (t *Thread) AdvanceTo(ts Time) {
+	if ts > t.now {
+		t.Advance(ts - t.now)
+	}
+}
+
+// AdvanceNs charges a floating-point nanosecond cost.
+func (t *Thread) AdvanceNs(ns float64) { t.Advance(FromNs(ns)) }
+
+// Block parks the thread until another simulated thread calls Unblock. The
+// thread's clock is advanced to the wake-up time supplied by the unblocker.
+// Block panics on a standalone thread (nothing could ever wake it).
+func (t *Thread) Block() {
+	if t.sched == nil {
+		panic("sim: Block on standalone thread " + t.name)
+	}
+	t.sched.block(t)
+}
+
+// Unblock marks a blocked thread runnable again, with its clock advanced to
+// at least `at`. It must be called from another simulated thread (or from
+// scheduler-driven code) of the same scheduler.
+func (t *Thread) Unblock(at Time) {
+	if t.sched == nil {
+		panic("sim: Unblock on standalone thread " + t.name)
+	}
+	t.sched.unblock(t, at)
+}
+
+// Attached reports whether the thread runs under a scheduler.
+func (t *Thread) Attached() bool { return t.sched != nil }

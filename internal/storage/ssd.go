@@ -1,0 +1,80 @@
+// Package storage models the NVMe SSD that backs both the monolithic-Linux
+// swap path (Figure 1a, 14) and the DDC storage pool (§2.1's recursive page
+// fault to storage). It is a pure cost model with counters: page contents
+// always live in the process's ground-truth address space, so the SSD only
+// decides how long each page-in/page-out takes.
+package storage
+
+import (
+	"teleport/internal/hw"
+	"teleport/internal/sim"
+)
+
+// SSD models one NVMe device. Consecutive page IDs are detected as a
+// sequential stream and pay bandwidth only; anything else pays the random
+// access latency. Methods charge virtual time to the calling thread.
+type SSD struct {
+	cfg      *hw.Config
+	pageSize int
+
+	lastRead  uint64
+	lastWrite uint64
+	haveRead  bool
+	haveWrite bool
+
+	reads      int64
+	writes     int64
+	seqReads   int64
+	bytesRead  int64
+	bytesWrite int64
+}
+
+// New returns an SSD with the given hardware parameters and page size.
+func New(cfg *hw.Config, pageSize int) *SSD {
+	return &SSD{cfg: cfg, pageSize: pageSize}
+}
+
+// ReadPage charges the cost of paging one page in from the device.
+func (d *SSD) ReadPage(t *sim.Thread, page uint64) {
+	d.reads++
+	d.bytesRead += int64(d.pageSize)
+	seq := d.haveRead && page == d.lastRead+1
+	d.lastRead, d.haveRead = page, true
+	if seq {
+		d.seqReads++
+		t.AdvanceNs(float64(d.pageSize) / d.cfg.SSDSeqGBs)
+		return
+	}
+	t.AdvanceNs(d.cfg.SSDRandReadNs + float64(d.pageSize)/d.cfg.SSDSeqGBs)
+}
+
+// WritePage charges the cost of paging one page out to the device.
+func (d *SSD) WritePage(t *sim.Thread, page uint64) {
+	d.writes++
+	d.bytesWrite += int64(d.pageSize)
+	seq := d.haveWrite && page == d.lastWrite+1
+	d.lastWrite, d.haveWrite = page, true
+	if seq {
+		t.AdvanceNs(float64(d.pageSize) / d.cfg.SSDSeqGBs)
+		return
+	}
+	t.AdvanceNs(d.cfg.SSDRandWriteNs + float64(d.pageSize)/d.cfg.SSDSeqGBs)
+}
+
+// Stats describes accumulated device activity.
+type Stats struct {
+	Reads, Writes         int64
+	SeqReads              int64
+	BytesRead, BytesWrite int64
+}
+
+// Stats returns the accumulated counters.
+func (d *SSD) Stats() Stats {
+	return Stats{
+		Reads: d.reads, Writes: d.writes, SeqReads: d.seqReads,
+		BytesRead: d.bytesRead, BytesWrite: d.bytesWrite,
+	}
+}
+
+// Reset clears counters and stream-detection state.
+func (d *SSD) Reset() { *d = SSD{cfg: d.cfg, pageSize: d.pageSize} }

@@ -1,0 +1,249 @@
+// Package tpch generates a TPC-H-style analytical schema at reduced scale
+// and implements physical plans for the queries the paper evaluates: the
+// §5.1 microbenchmark Q_filter, and TPC-H Q3, Q6, and Q9 (the three queries
+// with the highest cost of disaggregation, Figure 3). The scale rule from
+// DESIGN.md applies: row counts shrink, the compute cache shrinks with
+// them, and hardware costs stay at the paper's absolute values, preserving
+// every figure's shape.
+package tpch
+
+import (
+	"math/rand"
+
+	"teleport/internal/coldb"
+)
+
+// Days span the TPC-H date domain 1992-01-01 .. 1998-12-31 as day numbers.
+const (
+	DateMin   = 0
+	DateMax   = 2556
+	YearDays  = 365
+	GreenPart = 7 // the p_color id Q9 filters ("%green%")
+	Segments  = 5 // c_mktsegment domain; Q3 uses segment 0 ("BUILDING")
+	Nations   = 25
+)
+
+// Config controls generation.
+type Config struct {
+	// Scale is the micro scale factor: Lineitem has 60,000·Scale rows
+	// (Scale 1 ≈ 4 MB database; the paper's SF50 shape is reproduced by
+	// scaling the cache with the data).
+	Scale float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// KeepRaw retains plain-Go copies of every column for result
+	// verification in tests.
+	KeepRaw bool
+}
+
+// Raw holds plain-Go copies of the generated columns (verification only).
+type Raw struct {
+	LOrderkey, LPartkey, LSuppkey []int64
+	LQuantity, LExtPrice, LDisc   []float64
+	LTax                          []float64
+	LShipdate                     []int64
+	LReturnflag, LLinestatus      []int64
+	OCustkey, OOrderdate          []int64
+	CMktsegment, CNationkey       []int64
+	PColor                        []int64
+	SNationkey                    []int64
+	PSKey                         []int64
+	PSSupplyCost                  []float64
+}
+
+// Data is the loaded database plus its cardinalities.
+type Data struct {
+	DB                *coldb.DB
+	L, O, C, P, S, PS int
+	Raw               *Raw
+}
+
+// CompositeKey packs a (partkey, suppkey) pair into the single int64 key the
+// partsupp hash index uses.
+func CompositeKey(partkey, suppkey int64) int64 { return partkey*100000 + suppkey }
+
+// Load generates the schema into db. Loading bypasses the compute cache —
+// in a DDC the database is born in the memory pool (§2.1).
+func Load(db *coldb.DB, cfg Config) *Data {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	L := int(60000 * cfg.Scale)
+	O := maxInt(L/4, 1)
+	C := maxInt(O/10, 1)
+	P := maxInt(L/30, 1)
+	S := maxInt(L/600, 10)
+	PS := P * 4
+
+	d := &Data{DB: db, L: L, O: O, C: C, P: P, S: S, PS: PS}
+	raw := &Raw{}
+
+	// part: dense partkey = row id, a colour id, retail price.
+	part := db.CreateTable("part", P,
+		coldb.ColumnSpec{Name: "p_partkey", Type: coldb.I64},
+		coldb.ColumnSpec{Name: "p_color", Type: coldb.I32},
+		coldb.ColumnSpec{Name: "p_retailprice", Type: coldb.F64},
+	)
+	pColor := make([]int64, P)
+	pKey := make([]int64, P)
+	pPrice := make([]float64, P)
+	for i := 0; i < P; i++ {
+		pKey[i] = int64(i)
+		pColor[i] = int64(r.Intn(92)) // TPC-H has 92 colour words
+		pPrice[i] = 900 + float64(r.Intn(1200))
+	}
+	part.Col("p_partkey").LoadI64(db.P, pKey)
+	part.Col("p_color").LoadI64(db.P, pColor)
+	part.Col("p_retailprice").LoadF64(db.P, pPrice)
+	raw.PColor = pColor
+
+	// supplier: dense suppkey, nation.
+	supp := db.CreateTable("supplier", S,
+		coldb.ColumnSpec{Name: "s_suppkey", Type: coldb.I64},
+		coldb.ColumnSpec{Name: "s_nationkey", Type: coldb.I32},
+	)
+	sKey := make([]int64, S)
+	sNation := make([]int64, S)
+	for i := 0; i < S; i++ {
+		sKey[i] = int64(i)
+		sNation[i] = int64(r.Intn(Nations))
+	}
+	supp.Col("s_suppkey").LoadI64(db.P, sKey)
+	supp.Col("s_nationkey").LoadI64(db.P, sNation)
+	raw.SNationkey = sNation
+
+	// partsupp: 4 suppliers per part, composite key, supply cost.
+	ps := db.CreateTable("partsupp", PS,
+		coldb.ColumnSpec{Name: "ps_key", Type: coldb.I64},
+		coldb.ColumnSpec{Name: "ps_supplycost", Type: coldb.F64},
+	)
+	psKey := make([]int64, PS)
+	psCost := make([]float64, PS)
+	psPart := make([]int64, PS)
+	psSupp := make([]int64, PS)
+	for i := 0; i < PS; i++ {
+		pk := int64(i / 4)
+		sk := (pk + int64(i%4)*int64(S/4+1)) % int64(S)
+		psPart[i], psSupp[i] = pk, sk
+		psKey[i] = CompositeKey(pk, sk)
+		psCost[i] = 1 + float64(r.Intn(1000))/10
+	}
+	ps.Col("ps_key").LoadI64(db.P, psKey)
+	ps.Col("ps_supplycost").LoadF64(db.P, psCost)
+	raw.PSKey = psKey
+	raw.PSSupplyCost = psCost
+
+	// customer: dense custkey, market segment, nation.
+	cust := db.CreateTable("customer", C,
+		coldb.ColumnSpec{Name: "c_custkey", Type: coldb.I64},
+		coldb.ColumnSpec{Name: "c_mktsegment", Type: coldb.I32},
+		coldb.ColumnSpec{Name: "c_nationkey", Type: coldb.I32},
+	)
+	cKey := make([]int64, C)
+	cSeg := make([]int64, C)
+	cNat := make([]int64, C)
+	for i := 0; i < C; i++ {
+		cKey[i] = int64(i)
+		cSeg[i] = int64(r.Intn(Segments))
+		cNat[i] = int64(r.Intn(Nations))
+	}
+	cust.Col("c_custkey").LoadI64(db.P, cKey)
+	cust.Col("c_mktsegment").LoadI64(db.P, cSeg)
+	cust.Col("c_nationkey").LoadI64(db.P, cNat)
+	raw.CMktsegment = cSeg
+	raw.CNationkey = cNat
+
+	// orders: dense orderkey = row id (so lineitem sorted by orderkey can
+	// merge-join it), customer, date.
+	orders := db.CreateTable("orders", O,
+		coldb.ColumnSpec{Name: "o_orderkey", Type: coldb.I64},
+		coldb.ColumnSpec{Name: "o_custkey", Type: coldb.I64},
+		coldb.ColumnSpec{Name: "o_orderdate", Type: coldb.I32},
+	)
+	oKey := make([]int64, O)
+	oCust := make([]int64, O)
+	oDate := make([]int64, O)
+	for i := 0; i < O; i++ {
+		oKey[i] = int64(i)
+		oCust[i] = int64(r.Intn(C))
+		oDate[i] = int64(r.Intn(DateMax))
+	}
+	orders.Col("o_orderkey").LoadI64(db.P, oKey)
+	orders.Col("o_custkey").LoadI64(db.P, oCust)
+	orders.Col("o_orderdate").LoadI64(db.P, oDate)
+	raw.OCustkey = oCust
+	raw.OOrderdate = oDate
+
+	// lineitem: sorted by orderkey, FK references into partsupp pairs so
+	// Q9's composite probe always finds its supply cost.
+	li := db.CreateTable("lineitem", L,
+		coldb.ColumnSpec{Name: "l_orderkey", Type: coldb.I64},
+		coldb.ColumnSpec{Name: "l_partkey", Type: coldb.I64},
+		coldb.ColumnSpec{Name: "l_suppkey", Type: coldb.I64},
+		coldb.ColumnSpec{Name: "l_quantity", Type: coldb.F64},
+		coldb.ColumnSpec{Name: "l_extendedprice", Type: coldb.F64},
+		coldb.ColumnSpec{Name: "l_discount", Type: coldb.F64},
+		coldb.ColumnSpec{Name: "l_tax", Type: coldb.F64},
+		coldb.ColumnSpec{Name: "l_shipdate", Type: coldb.I32},
+		coldb.ColumnSpec{Name: "l_returnflag", Type: coldb.I32},
+		coldb.ColumnSpec{Name: "l_linestatus", Type: coldb.I32},
+	)
+	lOrder := make([]int64, L)
+	lPart := make([]int64, L)
+	lSupp := make([]int64, L)
+	lQty := make([]float64, L)
+	lPrice := make([]float64, L)
+	lDisc := make([]float64, L)
+	lTax := make([]float64, L)
+	lShip := make([]int64, L)
+	lFlag := make([]int64, L)
+	lStatus := make([]int64, L)
+	for i := 0; i < L; i++ {
+		lOrder[i] = int64(i * O / L) // non-decreasing: sorted by orderkey
+		psRow := r.Intn(PS)
+		lPart[i] = psPart[psRow]
+		lSupp[i] = psSupp[psRow]
+		lQty[i] = float64(1 + r.Intn(50))
+		lPrice[i] = 901 + float64(r.Intn(104000))/priceDiv
+		lDisc[i] = float64(r.Intn(11)) / 100
+		lTax[i] = float64(r.Intn(9)) / 100
+		lShip[i] = int64(r.Intn(DateMax))
+		lFlag[i] = int64(r.Intn(3))   // A / N / R
+		lStatus[i] = int64(r.Intn(2)) // O / F
+	}
+	li.Col("l_orderkey").LoadI64(db.P, lOrder)
+	li.Col("l_partkey").LoadI64(db.P, lPart)
+	li.Col("l_suppkey").LoadI64(db.P, lSupp)
+	li.Col("l_quantity").LoadF64(db.P, lQty)
+	li.Col("l_extendedprice").LoadF64(db.P, lPrice)
+	li.Col("l_discount").LoadF64(db.P, lDisc)
+	li.Col("l_tax").LoadF64(db.P, lTax)
+	li.Col("l_shipdate").LoadI64(db.P, lShip)
+	li.Col("l_returnflag").LoadI64(db.P, lFlag)
+	li.Col("l_linestatus").LoadI64(db.P, lStatus)
+	raw.LOrderkey = lOrder
+	raw.LPartkey = lPart
+	raw.LSuppkey = lSupp
+	raw.LQuantity = lQty
+	raw.LExtPrice = lPrice
+	raw.LDisc = lDisc
+	raw.LTax = lTax
+	raw.LShipdate = lShip
+	raw.LReturnflag = lFlag
+	raw.LLinestatus = lStatus
+
+	if cfg.KeepRaw {
+		d.Raw = raw
+	}
+	return d
+}
+
+const priceDiv = 10 // price quantisation divisor
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+// Package trace is the simulator's observability layer: a bounded,
+// allocation-light event ring that the paging, coherence, and pushdown
+// paths publish into. It answers "what actually happened" questions —
+// which pages ping-ponged, when a pushdown queued, what got evicted —
+// without perturbing the virtual clock (tracing costs no simulated time).
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"teleport/internal/sim"
+)
+
+// Kind classifies events.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindRemoteFault  Kind = iota // compute pool demand-fetched a page
+	KindStorageFault             // memory pool faulted to the storage pool
+	KindWriteback                // dirty page written back
+	KindCoherence                // invalidation/downgrade message
+	KindPushdownStart
+	KindPushdownEnd
+	KindEviction
+	KindSync // syncmem / eager / migration flush
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"remote-fault", "storage-fault", "writeback", "coherence",
+	"pushdown-start", "pushdown-end", "eviction", "sync",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one trace record.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Page uint64 // page id where applicable
+	Arg  int64  // kind-specific detail (bytes, write flag, call id, ...)
+	Who  string // thread name
+}
+
+// String renders the event.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v %-14s page=%-8d arg=%-6d %s", e.At, e.Kind, e.Page, e.Arg, e.Who)
+}
+
+// Ring is a fixed-capacity event buffer. The zero value is disabled; attach
+// one with New. Methods are not synchronised — the virtual-time scheduler
+// runs one simulated thread at a time, which is the only writer model the
+// simulator has.
+type Ring struct {
+	events []Event
+	next   int
+	total  uint64
+}
+
+// New returns a ring holding the last capacity events.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{events: make([]Event, 0, capacity)}
+}
+
+// Add records an event (no-op on a nil ring, so call sites need no guards).
+func (r *Ring) Add(e Event) {
+	if r == nil {
+		return
+	}
+	r.total++
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.next] = e
+	r.next = (r.next + 1) % cap(r.events)
+}
+
+// Total returns the number of events ever recorded (including overwritten
+// ones).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// CountByKind tallies retained events.
+func (r *Ring) CountByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range r.Events() {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// Dump writes the retained events to w, oldest first.
+func (r *Ring) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"teleport/internal/sim"
+)
+
+func TestNilRingIsSafe(t *testing.T) {
+	var r *Ring
+	r.Add(Event{Kind: KindRemoteFault})
+	if r.Total() != 0 || r.Events() != nil {
+		t.Fatal("nil ring must be inert")
+	}
+}
+
+func TestRingKeepsLastN(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Event{At: sim.Time(i), Kind: KindEviction, Page: uint64(i)})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Page != uint64(i+2) {
+			t.Fatalf("events = %v (not oldest-first window)", evs)
+		}
+	}
+}
+
+func TestCountByKindAndDump(t *testing.T) {
+	r := New(10)
+	r.Add(Event{Kind: KindCoherence, Who: "a"})
+	r.Add(Event{Kind: KindCoherence, Who: "b"})
+	r.Add(Event{Kind: KindPushdownStart, Who: "c"})
+	counts := r.CountByKind()
+	if counts[KindCoherence] != 2 || counts[KindPushdownStart] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "coherence") || !strings.Contains(out, "pushdown-start") {
+		t.Fatalf("dump = %s", out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("dump lines = %d", strings.Count(out, "\n"))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindRemoteFault.String() != "remote-fault" || KindSync.String() != "sync" {
+		t.Fatal("kind names")
+	}
+	if !strings.HasPrefix(Kind(99).String(), "kind(") {
+		t.Fatal("unknown kind")
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	r := New(0)
+	r.Add(Event{Kind: KindSync})
+	r.Add(Event{Kind: KindWriteback})
+	if len(r.Events()) != 1 || r.Events()[0].Kind != KindWriteback {
+		t.Fatalf("events = %v", r.Events())
+	}
+}
