@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"teleport/internal/bench"
+	"teleport/internal/fault"
 )
 
 func main() {
@@ -29,12 +30,15 @@ func main() {
 		cacheFrac = flag.Float64("cache-frac", defaults.CacheFrac, "compute cache fraction")
 		traceN    = flag.Int("trace", 0, "dump the last N paging/coherence/pushdown events")
 		advise    = flag.Bool("advise", false, "profile on the base DDC and print the advisor's pushdown decisions")
+		chaosProf = flag.String("chaos-profile", "", "fault-injection profile: none, "+strings.Join(fault.ProfileNames(), ", "))
+		chaosSeed = flag.Int64("chaos-seed", 0, "fault plan seed (0 = reuse -seed)")
 	)
 	flag.Parse()
 
 	opts := bench.Options{
 		Scale: *scale, GraphNV: *graphNV, Words: *words,
 		Seed: *seed, CacheFrac: *cacheFrac, TraceCap: *traceN,
+		ChaosProfile: *chaosProf, ChaosSeed: *chaosSeed,
 	}
 	if *advise {
 		decisions, err := bench.Advise(*workload, opts)
@@ -58,6 +62,9 @@ func main() {
 	for _, o := range res.Profile {
 		fmt.Printf("  %-14s %12.6f %10d %12.1f %8v\n",
 			o.Name, o.Time.Seconds(), o.Calls, float64(o.RemoteByte)/1024, o.Pushed)
+	}
+	if res.Fault != nil {
+		fmt.Printf("\n%s\n", res.Fault)
 	}
 	if len(res.Trace) > 0 {
 		fmt.Printf("\nlast %d events:\n", len(res.Trace))

@@ -35,6 +35,18 @@ type Options struct {
 	// TraceCap, when positive, attaches an event ring of that capacity to
 	// the machine (see internal/trace); RunWorkload returns its contents.
 	TraceCap int
+
+	// ChaosProfile names a fault-injection profile (see internal/fault;
+	// "" or "none" disables injection). Faults perturb virtual time, never
+	// answers: lost messages are retransmitted, failed reads re-read, and
+	// pushdowns that hit a crash retry and then fall back to compute-side
+	// execution.
+	ChaosProfile string
+
+	// ChaosSeed seeds the fault plan's RNG streams; 0 reuses Seed. Two runs
+	// with the same options and chaos seed inject the identical fault
+	// sequence and report bit-identical timings.
+	ChaosSeed int64
 }
 
 // Defaults returns the options used by the committed EXPERIMENTS.md run.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"teleport/internal/advisor"
+	"teleport/internal/fault"
 	"teleport/internal/hw"
 	"teleport/internal/profile"
 	"teleport/internal/trace"
@@ -35,10 +36,48 @@ type WorkloadResult struct {
 	Profile  []profile.OpStat
 	// Trace holds the machine's retained events when Options.TraceCap > 0.
 	Trace []trace.Event
+	// Fault summarises injection and recovery when Options.ChaosProfile is
+	// set (nil otherwise).
+	Fault *FaultReport
+}
+
+// FaultReport aggregates what a chaos run injected and how each layer
+// recovered.
+type FaultReport struct {
+	Profile string
+	Seed    int64
+
+	// Injected is the plan's own count of every fault it produced.
+	Injected fault.Counters
+
+	// Recovery, layer by layer.
+	FabricRetries  int64 // messages retransmitted by the fabric
+	FabricDrops    int64 // messages lost (each one was retransmitted)
+	SSDReadRetries int64 // device-level re-reads
+	PoolStalls     int64 // paging operations that waited out a pool outage
+
+	// TELEPORT runtime recovery (teleport platforms only; zero elsewhere).
+	PoolDownObserved int64 // heartbeat observations that found the pool down
+	CtxCrashes       int64 // temporary-context crashes
+	PushRetries      int64 // pushdown re-attempts by the policy
+	LocalFallbacks   int64 // pushdowns degraded to compute-side execution
+}
+
+// String renders the report as one summary block.
+func (f *FaultReport) String() string {
+	return fmt.Sprintf(
+		"chaos profile=%s seed=%d\n  injected: %v\n  recovered: fabric retries=%d drops=%d, ssd re-reads=%d, pool stalls=%d\n  pushdown: pool-down obs=%d ctx crashes=%d retries=%d local fallbacks=%d",
+		f.Profile, f.Seed, f.Injected,
+		f.FabricRetries, f.FabricDrops, f.SSDReadRetries, f.PoolStalls,
+		f.PoolDownObserved, f.CtxCrashes, f.PushRetries, f.LocalFallbacks)
 }
 
 // RunWorkload executes one named workload on one named platform.
 func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResult, error) {
+	chaosProf, err := fault.ByName(opts.ChaosProfile)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
 	var plat platform
 	auto := false
 	switch platformName {
@@ -79,13 +118,39 @@ func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResul
 		}
 	}
 	out := run(w, opts, spec)
-	return WorkloadResult{
+	res := WorkloadResult{
 		Workload: workloadName,
 		Platform: platformName,
 		Seconds:  out.Time.Seconds(),
 		Profile:  out.Profile,
 		Trace:    out.Proc.M.Trace.Events(),
-	}, nil
+	}
+	if chaosProf.Name != "none" {
+		m := out.Proc.M
+		seed := opts.ChaosSeed
+		if seed == 0 {
+			seed = opts.Seed
+		}
+		fr := &FaultReport{
+			Profile:        chaosProf.Name,
+			Seed:           seed,
+			Injected:       m.Fault.Counters(),
+			SSDReadRetries: m.SSD.Stats().ReadRetries,
+			PoolStalls:     m.PoolStalls,
+		}
+		tot := m.Fabric.Total()
+		fr.FabricRetries = tot.Retries
+		fr.FabricDrops = tot.Drops
+		if out.RT != nil {
+			rs := out.RT.Stats()
+			fr.PoolDownObserved = rs.PoolDownObserved
+			fr.CtxCrashes = rs.CtxCrashes
+			fr.PushRetries = rs.Retries
+			fr.LocalFallbacks = rs.LocalFallbacks
+		}
+		res.Fault = fr
+	}
+	return res, nil
 }
 
 // Advise profiles a workload on the base DDC and returns the pushdown

@@ -4,6 +4,7 @@ import (
 	"teleport/internal/coldb"
 	"teleport/internal/core"
 	"teleport/internal/ddc"
+	"teleport/internal/fault"
 	"teleport/internal/graph"
 	"teleport/internal/hw"
 	"teleport/internal/mapreduce"
@@ -183,7 +184,14 @@ func run(w workload, opts Options, spec runSpec) runOut {
 	}
 	m := ddc.MustMachine(cfg)
 	if opts.TraceCap > 0 {
-		m.Trace = trace.New(opts.TraceCap)
+		m.AttachTrace(trace.New(opts.TraceCap))
+	}
+	if prof, err := fault.ByName(opts.ChaosProfile); err == nil && prof.Name != "none" {
+		seed := opts.ChaosSeed
+		if seed == 0 {
+			seed = opts.Seed
+		}
+		m.AttachFault(fault.NewPlan(prof, seed))
 	}
 	p := m.NewProcess()
 	runFn := w.Build(p, opts)

@@ -145,14 +145,33 @@ var (
 	// Options.ExecLimit; the compute-side wrapper raises an abort.
 	ErrKilled = errors.New("teleport: pushed function killed (exec limit exceeded)")
 
-	// ErrMemoryPoolDown reports heartbeat loss to the memory pool. The
-	// paper's kernel panics — main memory is gone — so any further use of
-	// the process is invalid.
-	ErrMemoryPoolDown = errors.New("teleport: memory pool unreachable (kernel panic)")
+	// ErrMemoryPoolDown reports heartbeat loss to the memory pool: either
+	// the manual SetMemoryPoolDown flag, or a crash epoch of the machine's
+	// fault plan observed during the call. The pushed function has NOT run
+	// when this is returned — the crash was detected before execution
+	// committed — so retrying or falling back to local execution is safe.
+	ErrMemoryPoolDown = errors.New("teleport: memory pool unreachable (heartbeat lost)")
+
+	// ErrContextCrashed reports that the temporary user context crashed in
+	// the memory pool before the pushed function committed (injected by the
+	// machine's fault plan). Like ErrMemoryPoolDown, fn has not run; the
+	// RetryThenLocal policy re-runs a context-crashed pushdown once before
+	// degrading to local execution.
+	ErrContextCrashed = errors.New("teleport: pushdown context crashed in the memory pool")
 
 	// ErrNotDisaggregated reports a pushdown on a monolithic machine.
 	ErrNotDisaggregated = errors.New("teleport: pushdown requires a disaggregated machine")
 )
+
+// Recoverable reports whether a pushdown error is safe to retry or absorb
+// with a compute-side fallback: the pushed function is guaranteed not to
+// have executed. Cancellation, heartbeat loss, and context crashes qualify;
+// ErrKilled and RemoteError do not (the function ran).
+func Recoverable(err error) bool {
+	return errors.Is(err, ErrCancelled) ||
+		errors.Is(err, ErrMemoryPoolDown) ||
+		errors.Is(err, ErrContextCrashed)
+}
 
 // RemoteError wraps a panic thrown by the pushed function; it is rethrown
 // to the caller just like the C++ exception tunnelling of §3.2.

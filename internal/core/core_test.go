@@ -4,7 +4,10 @@ import (
 	"errors"
 	"testing"
 
+	"fmt"
+
 	"teleport/internal/ddc"
+	"teleport/internal/fault"
 	"teleport/internal/mem"
 	"teleport/internal/netmodel"
 	"teleport/internal/sim"
@@ -748,5 +751,211 @@ func TestPushedDirtyBitsMergeIntoPool(t *testing.T) {
 	}
 	if m.SSD.Stats().Writes <= writesBefore {
 		t.Fatal("evicting a pushed-dirty page must write it to storage")
+	}
+}
+
+// --- Failure handling and recovery (robustness PR) ---
+
+// sumFunc returns a Func summing n int64s starting at a, writing the result
+// into *out. It works in either pool, so fallback paths compute the same
+// answer.
+func sumFunc(a mem.Addr, n int, out *int64) Func {
+	return func(env *ddc.Env) {
+		var s int64
+		for i := 0; i < n; i++ {
+			s += env.ReadI64(a + mem.Addr(i*8))
+		}
+		*out = s
+	}
+}
+
+func fillVec(p *ddc.Process, th *sim.Thread, n int) mem.Addr {
+	a := p.Space.Alloc(int64(n)*8, "vec")
+	env := p.NewEnv(th)
+	for i := 0; i < n; i++ {
+		env.WriteI64(a+mem.Addr(i*8), int64(i))
+	}
+	return a
+}
+
+func countKind(r *trace.Ring, k trace.Kind) int {
+	n := 0
+	for _, ev := range r.Events() {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// A pushdown issued while the memory pool is down (manual, indefinite
+// outage) must complete via the RetryThenLocal fallback: pushed=false,
+// nil error, a fallback-local trace event — not a bare ErrMemoryPoolDown.
+func TestPushdownWithPolicyFallsBackWhenPoolDown(t *testing.T) {
+	p, rt := testProc(16)
+	ring := trace.New(128)
+	p.M.AttachTrace(ring)
+	th := sim.NewThread("caller")
+	a := fillVec(p, th, 1000)
+
+	rt.SetMemoryPoolDown(true)
+	var sum int64
+	pol := RetryThenLocal{MaxRetries: 2, Backoff: sim.Microsecond}
+	_, pushed, err := rt.PushdownWithPolicy(th, sumFunc(a, 1000, &sum), Options{}, pol)
+	if err != nil {
+		t.Fatalf("PushdownWithPolicy: %v", err)
+	}
+	if pushed {
+		t.Fatalf("pushed = true, want false (pool is down)")
+	}
+	if want := int64(1000 * 999 / 2); sum != want {
+		t.Fatalf("fallback sum = %d, want %d", sum, want)
+	}
+	st := rt.Stats()
+	if st.LocalFallbacks != 1 {
+		t.Fatalf("LocalFallbacks = %d, want 1", st.LocalFallbacks)
+	}
+	if st.Retries != int64(pol.MaxRetries) {
+		t.Fatalf("Retries = %d, want %d", st.Retries, pol.MaxRetries)
+	}
+	if st.PoolDownObserved == 0 {
+		t.Fatalf("PoolDownObserved = 0, want > 0")
+	}
+	if countKind(ring, trace.KindFallbackLocal) != 1 {
+		t.Fatalf("want exactly one fallback-local trace event, ring: %v", ring.Events())
+	}
+	if countKind(ring, trace.KindPoolCrash) != 1 {
+		t.Fatalf("want one pool-crash trace event (first observation edge)")
+	}
+}
+
+// A context-crashed pushdown is re-run once; if the rerun crashes too the
+// policy degrades to local execution rather than burning retries.
+func TestContextCrashRerunOnceThenLocal(t *testing.T) {
+	p, rt := testProc(16)
+	ring := trace.New(128)
+	p.M.AttachTrace(ring)
+	prof := fault.Profile{Name: "always-crash-ctx", CtxCrashProb: 1}
+	p.M.AttachFault(fault.NewPlan(prof, 7))
+	th := sim.NewThread("caller")
+	a := fillVec(p, th, 500)
+
+	var sum int64
+	_, pushed, err := rt.PushdownWithPolicy(th, sumFunc(a, 500, &sum), Options{}, DefaultRetryThenLocal())
+	if err != nil {
+		t.Fatalf("PushdownWithPolicy: %v", err)
+	}
+	if pushed {
+		t.Fatalf("pushed = true, want false (every context crashes)")
+	}
+	if want := int64(500 * 499 / 2); sum != want {
+		t.Fatalf("fallback sum = %d, want %d", sum, want)
+	}
+	st := rt.Stats()
+	if st.CtxCrashes != 2 {
+		t.Fatalf("CtxCrashes = %d, want 2 (original + one rerun)", st.CtxCrashes)
+	}
+	if st.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1 (the single rerun)", st.Retries)
+	}
+	if st.LocalFallbacks != 1 {
+		t.Fatalf("LocalFallbacks = %d, want 1", st.LocalFallbacks)
+	}
+	if got := p.M.Fault.Counters().CtxCrashes; got != 2 {
+		t.Fatalf("plan CtxCrashes = %d, want 2", got)
+	}
+}
+
+// Pushdown surfaces a bare ErrContextCrashed (with fn not run) when called
+// without a policy.
+func TestPushdownReturnsErrContextCrashed(t *testing.T) {
+	p, rt := testProc(16)
+	p.M.AttachFault(fault.NewPlan(fault.Profile{Name: "cc", CtxCrashProb: 1}, 1))
+	th := sim.NewThread("caller")
+	a := fillVec(p, th, 10)
+
+	ran := false
+	_, err := rt.Pushdown(th, func(env *ddc.Env) { ran = true; _ = env.ReadI64(a) }, Options{})
+	if !errors.Is(err, ErrContextCrashed) {
+		t.Fatalf("err = %v, want ErrContextCrashed", err)
+	}
+	if ran {
+		t.Fatalf("fn ran despite context crash (must not commit)")
+	}
+	if !Recoverable(err) {
+		t.Fatalf("ErrContextCrashed must be Recoverable")
+	}
+}
+
+// A pushdown issued inside a scheduled controller outage retries after the
+// restart time and ultimately runs in the memory pool (pushed=true), with
+// pool-crash / pool-recover edges in the trace.
+func TestPolicyRetriesThroughScheduledOutage(t *testing.T) {
+	p, rt := testProc(16)
+	ring := trace.New(256)
+	p.M.AttachTrace(ring)
+	plan := fault.NewPlan(fault.CrashyPool(), 42)
+	p.M.AttachFault(plan)
+	th := sim.NewThread("caller")
+	a := fillVec(p, th, 200)
+
+	// Probe forward for the first crash window and park the caller inside it.
+	var inWindow sim.Time
+	for ts := sim.Time(0); ts < 10*sim.Second; ts += 100 * sim.Microsecond {
+		if _, down := plan.PoolDownAt(ts); down {
+			inWindow = ts
+			break
+		}
+	}
+	if inWindow == 0 {
+		t.Fatalf("no crash window found in 10s of virtual time")
+	}
+	th.AdvanceTo(inWindow)
+
+	var sum int64
+	_, pushed, err := rt.PushdownWithPolicy(th, sumFunc(a, 200, &sum), Options{}, DefaultRetryThenLocal())
+	if err != nil {
+		t.Fatalf("PushdownWithPolicy: %v", err)
+	}
+	if !pushed {
+		t.Fatalf("pushed = false, want true (policy should wait out the outage)")
+	}
+	if want := int64(200 * 199 / 2); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	st := rt.Stats()
+	if st.Retries == 0 {
+		t.Fatalf("Retries = 0, want >= 1")
+	}
+	if st.PoolDownObserved == 0 {
+		t.Fatalf("PoolDownObserved = 0, want >= 1")
+	}
+	if countKind(ring, trace.KindPoolCrash) == 0 || countKind(ring, trace.KindPoolRecover) == 0 {
+		t.Fatalf("want pool-crash and pool-recover trace edges, ring: %v", ring.Events())
+	}
+	// The heartbeat must agree with the plan at both probe points.
+	if rt.HeartbeatAt(inWindow) {
+		t.Fatalf("HeartbeatAt(inWindow) = true, want false")
+	}
+	if !rt.HeartbeatAt(th.Now()) {
+		t.Fatalf("HeartbeatAt(now) = false after successful pushdown, want true")
+	}
+}
+
+// PushdownOrLocal must match cancellation via errors.Is, so wrapped
+// cancellation errors still trigger the local fallback.
+func TestRecoverableClassification(t *testing.T) {
+	for _, err := range []error{ErrCancelled, ErrMemoryPoolDown, ErrContextCrashed} {
+		if !Recoverable(err) {
+			t.Errorf("Recoverable(%v) = false, want true", err)
+		}
+		if !Recoverable(fmt.Errorf("wrapped: %w", err)) {
+			t.Errorf("Recoverable(wrapped %v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{ErrKilled, ErrNotDisaggregated, &RemoteError{Value: "x"}} {
+		if Recoverable(err) {
+			t.Errorf("Recoverable(%v) = true, want false", err)
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"teleport/internal/ddc"
 	"teleport/internal/hw"
 	"teleport/internal/mem"
@@ -51,7 +53,8 @@ type Runtime struct {
 	running int
 	queue   []*waiter
 	ps      *pushState
-	down    bool
+	down    bool // manual SetMemoryPoolDown override (indefinite outage)
+	downObs bool // last heartbeat observation, for crash/recover trace edges
 	agg     RuntimeStats
 }
 
@@ -80,6 +83,12 @@ type RuntimeStats struct {
 	Upgrades      int64 // compute write-upgrades that needed coherence
 	CoherenceMsgs int64
 	Contentions   int64
+
+	// Failure/recovery counters (§3.2 failure handling).
+	PoolDownObserved int64 // heartbeat observations that found the pool down
+	CtxCrashes       int64 // temporary-context crashes injected
+	Retries          int64 // pushdown re-attempts by the recovery policy
+	LocalFallbacks   int64 // pushdowns degraded to compute-side execution
 }
 
 // NewRuntime returns a TELEPORT runtime for p with the given number of
@@ -100,25 +109,145 @@ func NewRuntime(p *ddc.Process, contexts int) *Runtime {
 // Stats returns the aggregate runtime statistics.
 func (r *Runtime) Stats() RuntimeStats { return r.agg }
 
-// SetMemoryPoolDown simulates a memory-pool or network failure, which the
-// compute-side heartbeat thread detects (§3.2).
+// SetMemoryPoolDown simulates an indefinite memory-pool or network failure,
+// which the compute-side heartbeat thread detects (§3.2). Transient,
+// scheduled outages come from the machine's fault plan instead
+// (ddc.Machine.AttachFault); both feed the same heartbeat observation.
 func (r *Runtime) SetMemoryPoolDown(down bool) { r.down = down }
 
-// Heartbeat reports whether the memory pool is reachable.
+// Heartbeat reports whether the memory pool is reachable ignoring the fault
+// plan's crash schedule (which needs a virtual time — see HeartbeatAt).
 func (r *Runtime) Heartbeat() bool { return !r.down }
+
+// HeartbeatAt reports whether the memory pool is reachable at the given
+// virtual time, consulting both the manual down flag and the machine's
+// fault plan.
+func (r *Runtime) HeartbeatAt(ts sim.Time) bool {
+	_, down := r.poolDownAt(ts)
+	return !down
+}
+
+// poolDownAt resolves the pool's status at ts; for a scheduled outage it
+// also returns the controller's restart time (0 for the indefinite manual
+// outage).
+func (r *Runtime) poolDownAt(ts sim.Time) (recoverAt sim.Time, down bool) {
+	if r.down {
+		return 0, true
+	}
+	return r.P.M.Fault.PoolDownAt(ts)
+}
+
+// observeHeartbeat is one compute-side heartbeat observation at t's current
+// time. Transitions are recorded as pool-crash / pool-recover trace events
+// so chaos runs are debuggable from the ring.
+func (r *Runtime) observeHeartbeat(t *sim.Thread) bool {
+	_, down := r.poolDownAt(t.Now())
+	if down != r.downObs {
+		kind := trace.KindPoolRecover
+		if down {
+			kind = trace.KindPoolCrash
+		}
+		r.P.M.Trace.Add(trace.Event{At: t.Now(), Kind: kind, Who: t.Name()})
+		r.downObs = down
+	}
+	if down {
+		r.agg.PoolDownObserved++
+	}
+	return down
+}
 
 // PushdownOrLocal attempts a pushdown and, if the request is cancelled
 // while still queued (try_cancel succeeded after Options.Timeout), runs fn
 // in the compute pool instead — the fallback §3.2 describes ("the
 // application is free to execute fn directly in the compute pool"). It
-// reports whether the function ultimately ran in the memory pool.
+// reports whether the function ultimately ran in the memory pool. For
+// recovery from pool crashes and injected faults as well, use
+// PushdownWithPolicy.
 func (r *Runtime) PushdownOrLocal(t *sim.Thread, fn Func, opts Options) (Stats, bool, error) {
 	st, err := r.Pushdown(t, fn, opts)
-	if err == ErrCancelled {
-		fn(r.P.NewEnv(t))
+	if errors.Is(err, ErrCancelled) {
+		r.runLocalFallback(t, fn)
 		return st, false, nil
 	}
 	return st, true, err
+}
+
+// RetryThenLocal is the pushdown recovery policy: re-attempt a recoverably
+// failed pushdown up to MaxRetries times with exponential backoff, then
+// degrade gracefully to compute-side execution. A context-crashed pushdown
+// is re-run once immediately (the crash does not consume a retry); a pool
+// outage with a known restart time waits for the restart instead of blind
+// backoff.
+type RetryThenLocal struct {
+	// MaxRetries bounds re-attempts after ErrCancelled / ErrMemoryPoolDown.
+	MaxRetries int
+	// Backoff is the first retry delay; it doubles per retry, capped at
+	// 64×. Zero retries immediately.
+	Backoff sim.Time
+}
+
+// DefaultRetryThenLocal is the policy the instrumented executors use.
+func DefaultRetryThenLocal() RetryThenLocal {
+	return RetryThenLocal{MaxRetries: 3, Backoff: 50 * sim.Microsecond}
+}
+
+// PushdownWithPolicy runs fn under the RetryThenLocal recovery policy. It
+// returns the last pushdown attempt's breakdown, whether fn ultimately ran
+// in the memory pool, and the error for non-recoverable failures (ErrKilled,
+// RemoteError, ErrNotDisaggregated — recoverable ones are absorbed by the
+// fallback). Because every recoverable error is raised before the pushed
+// function commits, fn executes exactly once no matter how many attempts
+// were needed.
+func (r *Runtime) PushdownWithPolicy(t *sim.Thread, fn Func, opts Options, pol RetryThenLocal) (Stats, bool, error) {
+	backoff := pol.Backoff
+	ctxRerun := false
+	retries := 0
+	for {
+		st, err := r.Pushdown(t, fn, opts)
+		switch {
+		case err == nil:
+			return st, true, nil
+
+		case errors.Is(err, ErrContextCrashed):
+			// §3.2: the controller reaps the dead context; the compute
+			// side re-issues the request once, then gives up on the pool.
+			if ctxRerun {
+				r.runLocalFallback(t, fn)
+				return st, false, nil
+			}
+			ctxRerun = true
+			r.agg.Retries++
+
+		case Recoverable(err) && retries < pol.MaxRetries:
+			retries++
+			r.agg.Retries++
+			if recoverAt, down := r.poolDownAt(t.Now()); down && recoverAt > 0 {
+				// Scheduled outage: wait for the controller restart.
+				t.AdvanceTo(recoverAt)
+			} else if backoff > 0 {
+				t.Advance(backoff)
+				if backoff < 64*pol.Backoff {
+					backoff *= 2
+				}
+			}
+
+		case Recoverable(err):
+			// Out of retries: degrade to compute-side execution.
+			r.runLocalFallback(t, fn)
+			return st, false, nil
+
+		default:
+			return st, true, err
+		}
+	}
+}
+
+// runLocalFallback executes fn in the compute pool and records the
+// degradation.
+func (r *Runtime) runLocalFallback(t *sim.Thread, fn Func) {
+	r.agg.LocalFallbacks++
+	r.P.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindFallbackLocal, Who: t.Name()})
+	fn(r.P.NewEnv(t))
 }
 
 // Pushdown ships fn to the memory pool and blocks the calling thread until
@@ -126,9 +255,19 @@ func (r *Runtime) PushdownOrLocal(t *sim.Thread, fn Func, opts Options) (Stats, 
 // keep running in the compute pool; the coherence protocol keeps both sides
 // consistent. It returns the per-call breakdown and an error for
 // cancellation, kill, remote panic, or pool failure.
+//
+// Failure handling: the compute-side heartbeat observes the pool at call
+// entry and again at every point where the call has spent virtual time
+// before execution commits (request sent, context acquired, context set
+// up). A crash observed at any of these points aborts the call with
+// ErrMemoryPoolDown and the partial Stats breakdown — fn has not run, so
+// the caller (or PushdownWithPolicy) may retry or run it locally. A crash
+// after fn commits is indistinguishable from success here: the results
+// already live in the pool's memory, which is also the process's only
+// memory — the paper's kernel panics in that case.
 func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) {
 	var st Stats
-	if r.down {
+	if r.observeHeartbeat(t) {
 		return st, ErrMemoryPoolDown
 	}
 	if !r.P.M.Cfg.Disaggregated {
@@ -171,6 +310,12 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	p.M.Fabric.Send(t, st.RequestBytes, netmodel.ClassPushdown)
 	st.Request = t.Now() - mark
 
+	// The request transfer (and any fabric retries) took virtual time; a
+	// pool crash in that window means the request was never acknowledged.
+	if r.observeHeartbeat(t) {
+		return st, ErrMemoryPoolDown
+	}
+
 	// ❸ Workqueue: wait for a free user context (FIFO; try_cancel applies
 	// while queued).
 	mark = t.Now()
@@ -181,10 +326,38 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	}
 	st.Queue = t.Now() - mark
 
+	// A crash while the request sat in the workqueue: the context we were
+	// just granted died with the controller.
+	if r.observeHeartbeat(t) {
+		r.release(t)
+		return st, ErrMemoryPoolDown
+	}
+
 	// ❹ Temporary user context setup (Figure 8).
 	mark = t.Now()
 	ps := r.enterPush(t, entries, opts, &st)
 	st.CtxSetup = t.Now() - mark
+
+	// A crash during context setup, or an injected crash of the temporary
+	// context itself, surfaces before fn commits: the compute side detects
+	// it by heartbeat timeout, the controller reaps the dead context, and
+	// the caller decides whether to retry or fall back.
+	if r.observeHeartbeat(t) {
+		r.exitPush(ps)
+		r.release(t)
+		return st, ErrMemoryPoolDown
+	}
+	if p.M.Fault.CtxCrash() {
+		r.agg.CtxCrashes++
+		p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindFaultInjected, Arg: callID, Who: t.Name()})
+		// Reap cost: one context switch in the pool plus the failure
+		// notification round trip.
+		t.AdvanceNs(p.M.Cfg.HW.CtxSwitchNs)
+		p.M.Fabric.RoundTrip(t, ctrlMsgBytes, ctrlMsgBytes, netmodel.ClassPushdown)
+		r.exitPush(ps)
+		r.release(t)
+		return st, ErrContextCrashed
+	}
 
 	// Function execution with online coherence (Figure 9).
 	mark = t.Now()

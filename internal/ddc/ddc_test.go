@@ -3,9 +3,11 @@ package ddc
 import (
 	"testing"
 
+	"teleport/internal/fault"
 	"teleport/internal/mem"
 	"teleport/internal/netmodel"
 	"teleport/internal/sim"
+	"teleport/internal/trace"
 )
 
 func TestConfigPresetsValidate(t *testing.T) {
@@ -442,4 +444,76 @@ func TestCrossPageEnvBytes(t *testing.T) {
 	}
 	env.ReadBytes(edge, nil) // zero-length must be a no-op
 	env.WriteBytes(edge, nil)
+}
+
+// poolDownInjector reports the pool down until a fixed virtual time.
+// (fault.Plan is the production implementation; a scripted fake keeps the
+// test independent of any profile's schedule.)
+
+func TestWaitPoolUpStallsPaging(t *testing.T) {
+	m := MustMachine(BaseDDC(4 * mem.PageSize))
+	plan := fault.NewPlan(fault.Profile{
+		PoolMeanUp:   10 * sim.Millisecond,
+		PoolMeanDown: sim.Millisecond,
+	}, 3)
+	m.AttachFault(plan)
+	if m.Fault != plan {
+		t.Fatal("AttachFault did not install the plan")
+	}
+	p := m.NewProcess()
+	a := p.Space.AllocPages(mem.PageSize, "x")
+
+	// Find a crash window and issue a remote fault from inside it: the
+	// faulting thread must stall to at least the recovery time.
+	var at, rec sim.Time
+	for probe := sim.Time(0); ; probe += 100 * sim.Microsecond {
+		if r, down := plan.PoolDownAt(probe); down {
+			at, rec = probe, r
+			break
+		}
+		if probe > 5*sim.Second {
+			t.Fatal("no crash window found")
+		}
+	}
+	th := sim.NewThread("t")
+	th.AdvanceTo(at)
+	env := p.NewEnv(th)
+	env.ReadU64(a) // remote fault → stall until recovery
+	if th.Now() < rec {
+		t.Fatalf("fault at %v finished at %v, before recovery %v", at, th.Now(), rec)
+	}
+	if m.PoolStalls == 0 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestAttachFaultNilDetaches(t *testing.T) {
+	m := MustMachine(BaseDDC(4 * mem.PageSize))
+	m.AttachFault(fault.NewPlan(fault.Chaos(), 1))
+	m.AttachFault(nil)
+	if m.Fault != nil {
+		t.Fatal("plan not detached")
+	}
+	th := sim.NewThread("t")
+	if m.WaitPoolUp(th) {
+		t.Fatal("detached machine stalled")
+	}
+}
+
+func TestAttachTraceWiresFabric(t *testing.T) {
+	m := MustMachine(BaseDDC(4 * mem.PageSize))
+	r := trace.New(16)
+	m.AttachTrace(r)
+	if m.Trace != r {
+		t.Fatal("ring not installed")
+	}
+	// The fabric shares the ring: force a retry and expect an rpc-retry
+	// event in the machine's ring.
+	prof := fault.Profile{}
+	prof.SetNetAll(fault.NetFaults{DropProb: 1})
+	m.AttachFault(fault.NewPlan(prof, 1))
+	m.Fabric.Send(sim.NewThread("t"), 64, netmodel.ClassSync)
+	if r.CountByKind()[trace.KindRPCRetry] == 0 {
+		t.Fatal("fabric retry events did not reach the machine's ring")
+	}
 }

@@ -331,6 +331,9 @@ func upgradeWrite(e *Env, pg mem.PageID) {
 func remoteFault(e *Env, pg mem.PageID, write bool) {
 	p := e.P
 	cfg := &p.M.Cfg.HW
+	// A remote fault issued during a memory-controller outage has nowhere
+	// to go: the compute pool stalls until the controller restarts.
+	p.M.WaitPoolUp(e.T)
 	p.stats.RemoteFaults++
 	p.M.Trace.Add(trace.Event{At: e.T.Now(), Kind: trace.KindRemoteFault, Page: uint64(pg), Arg: b2i(write), Who: e.T.Name()})
 	p.M.Fabric.RoundTrip(e.T, faultReqBytes, pageRespBytes, netmodel.ClassPageFault)

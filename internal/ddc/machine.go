@@ -1,6 +1,7 @@
 package ddc
 
 import (
+	"teleport/internal/fault"
 	"teleport/internal/mem"
 	"teleport/internal/netmodel"
 	"teleport/internal/sim"
@@ -24,8 +25,18 @@ type Machine struct {
 	SSD    *storage.SSD
 
 	// Trace, when non-nil, receives paging/coherence/pushdown events (see
-	// internal/trace). Tracing costs no virtual time.
+	// internal/trace). Tracing costs no virtual time. Attach with
+	// AttachTrace so the fabric's fault events land in the same ring.
 	Trace *trace.Ring
+
+	// Fault, when non-nil, is the machine's deterministic chaos plan (see
+	// internal/fault). Attach with AttachFault so every layer — fabric,
+	// SSD, TELEPORT runtime — consults the same plan.
+	Fault *fault.Plan
+
+	// PoolStalls counts paging operations that had to wait out a
+	// memory-controller outage.
+	PoolStalls int64
 }
 
 // NewMachine validates cfg and assembles the machine.
@@ -46,6 +57,42 @@ func MustMachine(cfg Config) *Machine {
 		panic(err)
 	}
 	return m
+}
+
+// AttachTrace installs an event ring on the machine and on the fabric, so
+// paging, coherence, pushdown, and fault events interleave in one timeline.
+func (m *Machine) AttachTrace(r *trace.Ring) {
+	m.Trace = r
+	m.Fabric.SetTrace(r)
+}
+
+// AttachFault installs a chaos plan on every layer of the machine: the
+// fabric retransmits lost messages, the SSD re-reads failed pages, and the
+// TELEPORT runtime (internal/core) observes the crash epochs through
+// Machine.Fault. Passing nil detaches everything.
+func (m *Machine) AttachFault(p *fault.Plan) {
+	m.Fault = p
+	if p == nil {
+		m.Fabric.SetInjector(nil)
+		m.SSD.SetInjector(nil)
+		return
+	}
+	m.Fabric.SetInjector(p)
+	m.SSD.SetInjector(p)
+}
+
+// WaitPoolUp stalls t through a memory-controller outage: a paging
+// operation issued while the controller is crashed blocks until the
+// controller restarts (the compute pool has nowhere else to get the page
+// from). It reports whether a stall happened.
+func (m *Machine) WaitPoolUp(t *sim.Thread) bool {
+	recoverAt, down := m.Fault.PoolDownAt(t.Now())
+	if !down {
+		return false
+	}
+	m.PoolStalls++
+	t.AdvanceTo(recoverAt)
+	return true
 }
 
 // PushHooks is implemented by the TELEPORT runtime (internal/core). While a
@@ -221,7 +268,9 @@ func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
 		return
 	}
 	// Recursive fault to the storage pool (§2.1): controller message plus
-	// the device access.
+	// the device access. A crashed controller stalls the fault until it
+	// restarts.
+	p.M.WaitPoolUp(t)
 	p.stats.StorageInFault++
 	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindStorageFault, Page: uint64(pg), Who: t.Name()})
 	p.M.Fabric.RoundTrip(t, faultReqBytes, pageRespBytes, netmodel.ClassStorage)
@@ -240,6 +289,7 @@ func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
 // WritebackPage models the compute pool flushing one dirty page to the
 // memory pool (eviction write-back, syncmem, eager sync).
 func (p *Process) WritebackPage(t *sim.Thread, pg mem.PageID) {
+	p.M.WaitPoolUp(t)
 	p.stats.Writebacks++
 	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindWriteback, Page: uint64(pg), Who: t.Name()})
 	p.M.Fabric.Send(t, writebackBytes, netmodel.ClassWriteback)

@@ -1,0 +1,220 @@
+// Package fault is the simulator's deterministic chaos layer: a seeded
+// schedule of transient network faults (message loss, corruption, latency
+// spikes), memory-controller crash/restart epochs, pushdown-context crashes,
+// and SSD read errors. Every decision is drawn from sim.RNG streams derived
+// from one seed and every induced delay is charged to virtual time, so a
+// chaos run is exactly as reproducible as a fault-free one: the same seed
+// always yields the same faults, the same recovery actions, and the same
+// virtual-time totals.
+//
+// The plan is consulted from three layers: internal/netmodel retransmits
+// dropped/corrupted messages with capped exponential backoff, internal/storage
+// re-reads failed SSD pages, and internal/core observes the crash epochs as a
+// heartbeat and surfaces ErrMemoryPoolDown / ErrContextCrashed to its
+// recovery policy. Because faults only ever add virtual time or force a
+// retry/fallback that re-executes work exactly once, workload answers are
+// identical to the fault-free run by construction.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"teleport/internal/sim"
+)
+
+// MaxClasses bounds the per-traffic-class fault tables. It must be at least
+// netmodel's class count; fault does not import netmodel (netmodel imports
+// fault's consumer layers), so classes are plain ints here.
+const MaxClasses = 8
+
+// NetFaults is the transient-fault behaviour of one traffic class.
+type NetFaults struct {
+	// DropProb is the probability one message (or RPC leg) is lost in
+	// flight and must be retransmitted after a timeout.
+	DropProb float64
+	// CorruptProb is the probability a message arrives but fails its
+	// integrity check — same recovery as a drop.
+	CorruptProb float64
+	// SpikeProb is the probability a message is delayed by a congestion
+	// spike of Uniform[SpikeMinNs, SpikeMaxNs] without needing a retry.
+	SpikeProb  float64
+	SpikeMinNs float64
+	SpikeMaxNs float64
+}
+
+// Profile is a named fault mix. The zero value injects nothing.
+type Profile struct {
+	Name        string
+	Description string
+
+	// Net holds per-class transient network faults, indexed by
+	// int(netmodel.Class).
+	Net [MaxClasses]NetFaults
+
+	// PoolMeanUp and PoolMeanDown drive the memory-controller crash
+	// schedule: uptime between crashes is Uniform[½·MeanUp, 1½·MeanUp],
+	// each outage lasts Uniform[½·MeanDown, 1½·MeanDown]. MeanUp == 0
+	// disables crashes.
+	PoolMeanUp   sim.Time
+	PoolMeanDown sim.Time
+
+	// CtxCrashProb is the probability one pushdown's temporary user
+	// context crashes before the pushed function commits.
+	CtxCrashProb float64
+
+	// SSDReadErrProb is the probability one SSD page read fails and is
+	// retried by the device layer.
+	SSDReadErrProb float64
+}
+
+// SetNetAll applies nf to every traffic class.
+func (p *Profile) SetNetAll(nf NetFaults) {
+	for i := range p.Net {
+		p.Net[i] = nf
+	}
+}
+
+// Counters tallies every injected fault, by kind. Two runs with the same
+// seed and workload must report identical counters.
+type Counters struct {
+	Drops         int64 // messages lost in flight
+	Corruptions   int64 // messages failing integrity checks
+	Spikes        int64 // latency spikes applied
+	CtxCrashes    int64 // pushdown context crashes injected
+	SSDReadErrors int64 // SSD read errors injected
+	PoolWindows   int64 // crash windows generated so far
+}
+
+// String summarises the counters.
+func (c Counters) String() string {
+	return fmt.Sprintf("drops=%d corrupt=%d spikes=%d ctx-crashes=%d ssd-errs=%d crash-windows=%d",
+		c.Drops, c.Corruptions, c.Spikes, c.CtxCrashes, c.SSDReadErrors, c.PoolWindows)
+}
+
+// window is one memory-controller outage: down at [Down, Up).
+type window struct {
+	Down, Up sim.Time
+}
+
+// Plan is an instantiated fault schedule. A nil *Plan is inert: every method
+// reports "no fault", so call sites need no guards. Methods are not
+// synchronised — like the rest of the simulator, they run under the
+// single-threaded virtual-time scheduler.
+type Plan struct {
+	Prof Profile
+	Seed int64
+
+	// Independent streams per layer, so the number of draws in one layer
+	// (say, a retry storm on the fabric) never shifts another layer's
+	// schedule.
+	net, crash, ctx, ssd *sim.RNG
+
+	// Crash schedule, generated lazily but deterministically: window k is
+	// a pure function of (seed, k), so it does not matter in what order —
+	// or at what virtual times — the schedule is queried.
+	windows []window
+	cursor  sim.Time // end of the generated schedule
+
+	c Counters
+}
+
+// NewPlan instantiates prof with the given seed.
+func NewPlan(prof Profile, seed int64) *Plan {
+	root := sim.NewRNG(seed)
+	return &Plan{
+		Prof:  prof,
+		Seed:  seed,
+		net:   root.Derive(1),
+		crash: root.Derive(2),
+		ctx:   root.Derive(3),
+		ssd:   root.Derive(4),
+	}
+}
+
+// Counters returns the injected-fault tallies so far.
+func (p *Plan) Counters() Counters {
+	if p == nil {
+		return Counters{}
+	}
+	return p.c
+}
+
+// SendFault decides the fate of one message (or RPC) transmission attempt of
+// the given traffic class. It returns whether the attempt was lost (dropped
+// or corrupted — the caller must retransmit after a timeout) and any extra
+// latency to charge for a congestion spike.
+func (p *Plan) SendFault(class int) (lost bool, extraNs float64) {
+	if p == nil || class < 0 || class >= MaxClasses {
+		return false, 0
+	}
+	nf := &p.Prof.Net[class]
+	if nf.DropProb > 0 && p.net.Bernoulli(nf.DropProb) {
+		p.c.Drops++
+		return true, 0
+	}
+	if nf.CorruptProb > 0 && p.net.Bernoulli(nf.CorruptProb) {
+		p.c.Corruptions++
+		return true, 0
+	}
+	if nf.SpikeProb > 0 && p.net.Bernoulli(nf.SpikeProb) {
+		p.c.Spikes++
+		span := nf.SpikeMaxNs - nf.SpikeMinNs
+		return false, nf.SpikeMinNs + p.net.Float64()*span
+	}
+	return false, 0
+}
+
+// PoolDownAt reports whether the memory controller is crashed at virtual
+// time at; if it is, recoverAt is when the controller restarts.
+func (p *Plan) PoolDownAt(at sim.Time) (recoverAt sim.Time, down bool) {
+	if p == nil || p.Prof.PoolMeanUp <= 0 {
+		return 0, false
+	}
+	p.extendSchedule(at)
+	i := sort.Search(len(p.windows), func(i int) bool { return p.windows[i].Up > at })
+	if i < len(p.windows) && p.windows[i].Down <= at {
+		return p.windows[i].Up, true
+	}
+	return 0, false
+}
+
+// extendSchedule generates crash windows until the schedule covers at.
+func (p *Plan) extendSchedule(at sim.Time) {
+	mu, md := p.Prof.PoolMeanUp, p.Prof.PoolMeanDown
+	if md <= 0 {
+		md = sim.Millisecond
+	}
+	for p.cursor <= at {
+		down := p.cursor + p.crash.Duration(mu/2, mu+mu/2)
+		up := down + p.crash.Duration(md/2, md+md/2)
+		p.windows = append(p.windows, window{Down: down, Up: up})
+		p.cursor = up
+		p.c.PoolWindows++
+	}
+}
+
+// CtxCrash decides whether one pushdown's temporary context crashes before
+// the pushed function commits.
+func (p *Plan) CtxCrash() bool {
+	if p == nil || p.Prof.CtxCrashProb <= 0 {
+		return false
+	}
+	if p.ctx.Bernoulli(p.Prof.CtxCrashProb) {
+		p.c.CtxCrashes++
+		return true
+	}
+	return false
+}
+
+// SSDReadError decides whether one SSD page read fails.
+func (p *Plan) SSDReadError() bool {
+	if p == nil || p.Prof.SSDReadErrProb <= 0 {
+		return false
+	}
+	if p.ssd.Bernoulli(p.Prof.SSDReadErrProb) {
+		p.c.SSDReadErrors++
+		return true
+	}
+	return false
+}

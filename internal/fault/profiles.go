@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"teleport/internal/sim"
+)
+
+// Shipped profiles. Probabilities are deliberately aggressive for a cost
+// model — the point of a chaos run is to exercise every recovery path, not
+// to estimate production error rates.
+
+// FlakyNet drops ~1% of messages, corrupts ~0.2%, and delays ~2% by a
+// 5–20 µs congestion spike, on every traffic class.
+func FlakyNet() Profile {
+	p := Profile{
+		Name:        "flaky-net",
+		Description: "1% loss, 0.2% corruption, 2% latency spikes on all classes",
+	}
+	p.SetNetAll(NetFaults{
+		DropProb:    0.01,
+		CorruptProb: 0.002,
+		SpikeProb:   0.02,
+		SpikeMinNs:  5e3,
+		SpikeMaxNs:  20e3,
+	})
+	return p
+}
+
+// CrashyPool crashes the memory controller roughly every 20 ms of virtual
+// time for ~1 ms, with a trickle of message loss so retry paths overlap.
+func CrashyPool() Profile {
+	p := Profile{
+		Name:         "crashy-pool",
+		Description:  "memory controller crashes ~every 20ms for ~1ms, 0.2% loss",
+		PoolMeanUp:   20 * sim.Millisecond,
+		PoolMeanDown: sim.Millisecond,
+	}
+	p.SetNetAll(NetFaults{DropProb: 0.002})
+	return p
+}
+
+// FlakySSD fails ~5% of storage-pool page reads, forcing device-level
+// re-reads, and crashes ~2% of pushdown contexts.
+func FlakySSD() Profile {
+	return Profile{
+		Name:           "flaky-ssd",
+		Description:    "5% SSD read errors, 2% pushdown-context crashes",
+		SSDReadErrProb: 0.05,
+		CtxCrashProb:   0.02,
+	}
+}
+
+// Chaos combines every fault kind at once.
+func Chaos() Profile {
+	p := FlakyNet()
+	p.Name = "chaos"
+	p.Description = "flaky-net + controller crashes + context crashes + SSD errors"
+	p.PoolMeanUp = 25 * sim.Millisecond
+	p.PoolMeanDown = sim.Millisecond
+	p.CtxCrashProb = 0.03
+	p.SSDReadErrProb = 0.03
+	return p
+}
+
+// Profiles returns every shipped profile.
+func Profiles() []Profile {
+	return []Profile{FlakyNet(), CrashyPool(), FlakySSD(), Chaos()}
+}
+
+// ProfileNames lists the shipped profile names.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName resolves a shipped profile. "" and "none" resolve to a zero profile
+// that injects nothing.
+func ByName(name string) (Profile, error) {
+	if name == "" || name == "none" {
+		return Profile{Name: "none"}, nil
+	}
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("fault: unknown profile %q (have none, %s)",
+		name, strings.Join(ProfileNames(), ", "))
+}

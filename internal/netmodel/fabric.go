@@ -3,7 +3,10 @@
 // proportional transfer time, a LITE-style RPC handler cost, FIFO ordering,
 // and per-class message accounting. It also implements the run-length
 // encoding of resident-page lists that TELEPORT uses to fit the pushdown
-// request into a single RDMA message (§6).
+// request into a single RDMA message (§6), and — when a fault injector is
+// attached — transparent recovery from transient message loss/corruption by
+// retransmission with capped exponential backoff, all charged to virtual
+// time.
 package netmodel
 
 import (
@@ -11,6 +14,7 @@ import (
 
 	"teleport/internal/hw"
 	"teleport/internal/sim"
+	"teleport/internal/trace"
 )
 
 // Class labels traffic so experiments can report, e.g., the number of
@@ -40,11 +44,42 @@ func (c Class) String() string {
 	return classNames[c]
 }
 
-// Stat is a message/byte counter pair.
+// NumClasses returns the number of traffic classes (for per-class tables in
+// other packages).
+func NumClasses() int { return int(numClasses) }
+
+// Stat is a per-class counter set: delivered traffic plus the transient
+// faults survived getting it there.
 type Stat struct {
 	Msgs  int64
 	Bytes int64
+	// Retries counts retransmissions performed after a lost or corrupted
+	// transmission attempt; Drops counts the lost attempts themselves.
+	// They differ only if the retry cap is hit (the attempt is then
+	// treated as delivered by the reliable transport).
+	Retries int64
+	Drops   int64
 }
+
+// Injector decides transient-fault outcomes for transmission attempts. It is
+// implemented by *fault.Plan; netmodel sees classes as plain ints to keep
+// the dependency one-way.
+type Injector interface {
+	// SendFault returns whether one transmission attempt of the given
+	// class was lost (retransmit needed) and any extra latency in ns.
+	SendFault(class int) (lost bool, extraNs float64)
+}
+
+// Retransmission policy: the first retry waits roughly a detection timeout
+// (a few network RTTs), doubling up to the cap. Eight attempts at ~1%
+// injected loss makes an unrecoverable loss astronomically unlikely; if the
+// cap is ever hit the transport delivers anyway (it is reliable — the
+// injector models transient faults, not partitions).
+const (
+	maxSendAttempts  = 8
+	retryBackoffCap  = 64
+	retryBackoffRTTs = 4
+)
 
 // Fabric is the shared network connecting the pools of one machine. All
 // methods charge virtual time to the calling simulated thread; because the
@@ -52,29 +87,92 @@ type Stat struct {
 type Fabric struct {
 	cfg   *hw.Config
 	stats [numClasses]Stat
+	inj   Injector
+	ring  *trace.Ring
 }
 
 // New returns a fabric using the given hardware parameters.
 func New(cfg *hw.Config) *Fabric { return &Fabric{cfg: cfg} }
 
+// SetInjector attaches (or detaches, with nil) a transient-fault injector.
+func (f *Fabric) SetInjector(inj Injector) { f.inj = inj }
+
+// SetTrace attaches an event ring that receives fault-injected/rpc-retry
+// events (nil-safe, like the ring itself).
+func (f *Fabric) SetTrace(r *trace.Ring) { f.ring = r }
+
 // Send models a one-way message of the given size: latency + transfer time,
-// charged to t.
+// charged to t, plus any injected transient faults and their retransmissions.
 func (f *Fabric) Send(t *sim.Thread, bytes int, class Class) {
 	f.count(class, bytes)
 	t.AdvanceNs(f.cfg.MsgNs(bytes))
+	if f.inj == nil {
+		return
+	}
+	backoff := retryBackoffRTTs * f.cfg.NetLatencyNs
+	for attempt := 1; attempt < maxSendAttempts; attempt++ {
+		lost, extraNs := f.inj.SendFault(int(class))
+		if extraNs > 0 {
+			f.ring.Add(trace.Event{At: t.Now(), Kind: trace.KindFaultInjected, Arg: int64(class), Who: t.Name()})
+			t.AdvanceNs(extraNs)
+		}
+		if !lost {
+			return
+		}
+		// Lost in flight: wait out the detection timeout and retransmit.
+		f.stats[class].Drops++
+		f.stats[class].Retries++
+		f.ring.Add(trace.Event{At: t.Now(), Kind: trace.KindRPCRetry, Arg: int64(class), Who: t.Name()})
+		t.AdvanceNs(backoff)
+		if backoff < retryBackoffCap*f.cfg.NetLatencyNs {
+			backoff *= 2
+		}
+		f.count(class, bytes)
+		t.AdvanceNs(f.cfg.MsgNs(bytes))
+	}
 }
 
 // RoundTrip models a request/response RPC including remote handler
-// processing, charged to t.
+// processing, charged to t. With an injector attached, a fault on either leg
+// retransmits the whole RPC after a backoff (the requester cannot tell which
+// leg died).
 func (f *Fabric) RoundTrip(t *sim.Thread, reqBytes, respBytes int, class Class) {
 	f.count(class, reqBytes)
 	f.count(class, respBytes)
 	t.AdvanceNs(f.cfg.RoundTripNs(reqBytes, respBytes))
+	if f.inj == nil {
+		return
+	}
+	backoff := retryBackoffRTTs * f.cfg.NetLatencyNs
+	for attempt := 1; attempt < maxSendAttempts; attempt++ {
+		reqLost, reqExtra := f.inj.SendFault(int(class))
+		respLost, respExtra := f.inj.SendFault(int(class))
+		if extra := reqExtra + respExtra; extra > 0 {
+			f.ring.Add(trace.Event{At: t.Now(), Kind: trace.KindFaultInjected, Arg: int64(class), Who: t.Name()})
+			t.AdvanceNs(extra)
+		}
+		if !reqLost && !respLost {
+			return
+		}
+		f.stats[class].Drops++
+		f.stats[class].Retries++
+		f.ring.Add(trace.Event{At: t.Now(), Kind: trace.KindRPCRetry, Arg: int64(class), Who: t.Name()})
+		t.AdvanceNs(backoff)
+		if backoff < retryBackoffCap*f.cfg.NetLatencyNs {
+			backoff *= 2
+		}
+		f.count(class, reqBytes)
+		f.count(class, respBytes)
+		t.AdvanceNs(f.cfg.RoundTripNs(reqBytes, respBytes))
+	}
 }
 
 // Async counts a message and returns its cost without charging any thread;
 // callers use it when the transfer overlaps with other work (e.g. a
 // write-back that the evicting thread does not wait for beyond posting).
+// Fault injection does not apply: the poster never observes the fate of an
+// asynchronous transfer, so retransmission is the transport's own business
+// and costs the poster nothing.
 func (f *Fabric) Async(bytes int, class Class) sim.Time {
 	f.count(class, bytes)
 	return f.cfg.MsgTime(bytes)
@@ -94,11 +192,14 @@ func (f *Fabric) Total() Stat {
 	for _, st := range f.stats {
 		s.Msgs += st.Msgs
 		s.Bytes += st.Bytes
+		s.Retries += st.Retries
+		s.Drops += st.Drops
 	}
 	return s
 }
 
-// Reset clears all counters (used between experiment phases).
+// Reset clears all counters (used between experiment phases). The injector
+// and trace attachments are kept.
 func (f *Fabric) Reset() { f.stats = [numClasses]Stat{} }
 
 // Config exposes the underlying hardware parameters.

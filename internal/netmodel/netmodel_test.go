@@ -66,6 +66,125 @@ func TestTotalAndReset(t *testing.T) {
 	}
 }
 
+// scriptedInjector replays a fixed fate sequence, one entry per
+// transmission-attempt check.
+type scriptedInjector struct {
+	lost  []bool
+	extra []float64
+	i     int
+}
+
+func (s *scriptedInjector) SendFault(class int) (bool, float64) {
+	if s.i >= len(s.lost) {
+		return false, 0
+	}
+	l := s.lost[s.i]
+	var e float64
+	if s.i < len(s.extra) {
+		e = s.extra[s.i]
+	}
+	s.i++
+	return l, e
+}
+
+func TestSendRetransmitsOnLoss(t *testing.T) {
+	f, th := testFabric()
+	// First attempt lost, retransmission delivered.
+	f.SetInjector(&scriptedInjector{lost: []bool{true, false}})
+	f.Send(th, 4096, ClassPageFault)
+	s := f.Stats(ClassPageFault)
+	if s.Msgs != 2 || s.Bytes != 8192 {
+		t.Fatalf("stats = %+v, want 2 msgs / 8192 bytes (original + retransmit)", s)
+	}
+	if s.Retries != 1 || s.Drops != 1 {
+		t.Fatalf("retries/drops = %d/%d, want 1/1", s.Retries, s.Drops)
+	}
+	// Charged: two transmissions plus at least the retry backoff.
+	min := 2*f.Config().MsgTime(4096) + sim.FromNs(retryBackoffRTTs*f.Config().NetLatencyNs)
+	if th.Now() < min {
+		t.Fatalf("charged %v, want ≥ %v", th.Now(), min)
+	}
+}
+
+func TestSendLatencySpikeChargesButDoesNotRetry(t *testing.T) {
+	f, th := testFabric()
+	f.SetInjector(&scriptedInjector{lost: []bool{false}, extra: []float64{50000}})
+	f.Send(th, 100, ClassCoherence)
+	s := f.Stats(ClassCoherence)
+	if s.Msgs != 1 || s.Retries != 0 || s.Drops != 0 {
+		t.Fatalf("stats = %+v, want a single spiked delivery", s)
+	}
+	want := f.Config().MsgTime(100) + sim.FromNs(50000)
+	if th.Now() != want {
+		t.Fatalf("charged %v, want %v", th.Now(), want)
+	}
+}
+
+func TestRoundTripRetransmitsWholeRPC(t *testing.T) {
+	f, th := testFabric()
+	// Response leg of the first attempt lost; second attempt clean.
+	f.SetInjector(&scriptedInjector{lost: []bool{false, true, false, false}})
+	f.RoundTrip(th, 100, 4096, ClassPushdown)
+	s := f.Stats(ClassPushdown)
+	if s.Msgs != 4 || s.Bytes != 2*4196 {
+		t.Fatalf("stats = %+v, want both legs counted twice", s)
+	}
+	if s.Retries != 1 || s.Drops != 1 {
+		t.Fatalf("retries/drops = %d/%d, want 1/1", s.Retries, s.Drops)
+	}
+}
+
+func TestRetryCapDelivers(t *testing.T) {
+	f, th := testFabric()
+	// Injector loses everything: the transport must still terminate and
+	// count maxSendAttempts-1 retries.
+	all := make([]bool, 64)
+	for i := range all {
+		all[i] = true
+	}
+	f.SetInjector(&scriptedInjector{lost: all})
+	f.Send(th, 64, ClassSync)
+	s := f.Stats(ClassSync)
+	if s.Retries != maxSendAttempts-1 {
+		t.Fatalf("retries = %d, want %d", s.Retries, maxSendAttempts-1)
+	}
+	if s.Msgs != maxSendAttempts {
+		t.Fatalf("msgs = %d, want %d", s.Msgs, maxSendAttempts)
+	}
+}
+
+// TestTotalAndResetAllClasses drives every class, including the retry/drop
+// counters, and checks Total aggregates and Reset clears all of them.
+func TestTotalAndResetAllClasses(t *testing.T) {
+	f, th := testFabric()
+	classes := []Class{ClassPageFault, ClassWriteback, ClassCoherence, ClassPushdown, ClassStorage, ClassSync}
+	if len(classes) != NumClasses() {
+		t.Fatalf("test covers %d classes, fabric has %d", len(classes), NumClasses())
+	}
+	for _, c := range classes {
+		f.SetInjector(&scriptedInjector{lost: []bool{true, false}})
+		f.Send(th, 100, c) // 2 msgs, 1 retry, 1 drop per class
+		s := f.Stats(c)
+		if s.Msgs != 2 || s.Bytes != 200 || s.Retries != 1 || s.Drops != 1 {
+			t.Fatalf("class %v stats = %+v", c, s)
+		}
+	}
+	tot := f.Total()
+	n := int64(len(classes))
+	if tot.Msgs != 2*n || tot.Bytes != 200*n || tot.Retries != n || tot.Drops != n {
+		t.Fatalf("total = %+v, want aggregates over %d classes", tot, n)
+	}
+	f.Reset()
+	if f.Total() != (Stat{}) {
+		t.Fatalf("after reset total = %+v", f.Total())
+	}
+	for _, c := range classes {
+		if f.Stats(c) != (Stat{}) {
+			t.Fatalf("after reset class %v = %+v", c, f.Stats(c))
+		}
+	}
+}
+
 func TestClassString(t *testing.T) {
 	if ClassCoherence.String() != "coherence" {
 		t.Fatalf("got %q", ClassCoherence.String())

@@ -29,6 +29,12 @@ type Exec struct {
 	// PushFlags are passed to every pushdown call.
 	PushFlags core.Flags
 
+	// Policy is the recovery policy applied to every pushdown: recoverable
+	// failures (cancellation, pool crashes, context crashes) are retried and
+	// then degraded to local execution, so a chaos run still computes the
+	// same answer. Zero values fall back immediately without retrying.
+	Policy core.RetryThenLocal
+
 	ops  []OpStat
 	byID map[string]int
 }
@@ -56,12 +62,13 @@ func (o OpStat) Intensity() float64 {
 // possible, e.g. local execution).
 func NewExec(t *sim.Thread, p *ddc.Process, rt *core.Runtime) *Exec {
 	return &Exec{
-		T:    t,
-		P:    p,
-		RT:   rt,
-		Env:  p.NewEnv(t),
-		push: make(map[string]bool),
-		byID: make(map[string]int),
+		T:      t,
+		P:      p,
+		RT:     rt,
+		Env:    p.NewEnv(t),
+		Policy: core.DefaultRetryThenLocal(),
+		push:   make(map[string]bool),
+		byID:   make(map[string]int),
 	}
 }
 
@@ -83,7 +90,13 @@ func (ex *Exec) Run(name string, fn func(env *ddc.Env)) {
 	before := ex.P.M.Fabric.Total()
 	pushed := ex.push[name] && ex.RT != nil
 	if pushed {
-		if _, err := ex.RT.Pushdown(ex.T, fn, core.Options{Flags: ex.PushFlags}); err != nil {
+		// PushdownWithPolicy absorbs recoverable failures (retry, then
+		// compute-side fallback); only non-recoverable errors — a killed
+		// function or a remote panic — surface, and those are bugs in the
+		// operator, not the platform.
+		var err error
+		_, pushed, err = ex.RT.PushdownWithPolicy(ex.T, fn, core.Options{Flags: ex.PushFlags}, ex.Policy)
+		if err != nil {
 			panic("profile: pushdown failed: " + err.Error())
 		}
 	} else {

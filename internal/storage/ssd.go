@@ -10,23 +10,36 @@ import (
 	"teleport/internal/sim"
 )
 
+// Injector decides whether one device read fails its media/CRC check and
+// must be retried. Implemented by *fault.Plan.
+type Injector interface {
+	SSDReadError() bool
+}
+
+// maxReadAttempts bounds device-level read retries; a flash controller that
+// fails this many consecutive re-reads would return the block from parity,
+// which the model treats as one more (successful) read.
+const maxReadAttempts = 4
+
 // SSD models one NVMe device. Consecutive page IDs are detected as a
 // sequential stream and pay bandwidth only; anything else pays the random
 // access latency. Methods charge virtual time to the calling thread.
 type SSD struct {
 	cfg      *hw.Config
 	pageSize int
+	inj      Injector
 
 	lastRead  uint64
 	lastWrite uint64
 	haveRead  bool
 	haveWrite bool
 
-	reads      int64
-	writes     int64
-	seqReads   int64
-	bytesRead  int64
-	bytesWrite int64
+	reads       int64
+	writes      int64
+	seqReads    int64
+	bytesRead   int64
+	bytesWrite  int64
+	readRetries int64
 }
 
 // New returns an SSD with the given hardware parameters and page size.
@@ -34,7 +47,12 @@ func New(cfg *hw.Config, pageSize int) *SSD {
 	return &SSD{cfg: cfg, pageSize: pageSize}
 }
 
-// ReadPage charges the cost of paging one page in from the device.
+// SetInjector attaches (or detaches, with nil) a read-error injector.
+func (d *SSD) SetInjector(inj Injector) { d.inj = inj }
+
+// ReadPage charges the cost of paging one page in from the device. An
+// injected read error re-reads the page at full random-access cost (the
+// stream is broken by the seek back).
 func (d *SSD) ReadPage(t *sim.Thread, page uint64) {
 	d.reads++
 	d.bytesRead += int64(d.pageSize)
@@ -43,9 +61,16 @@ func (d *SSD) ReadPage(t *sim.Thread, page uint64) {
 	if seq {
 		d.seqReads++
 		t.AdvanceNs(float64(d.pageSize) / d.cfg.SSDSeqGBs)
+	} else {
+		t.AdvanceNs(d.cfg.SSDRandReadNs + float64(d.pageSize)/d.cfg.SSDSeqGBs)
+	}
+	if d.inj == nil {
 		return
 	}
-	t.AdvanceNs(d.cfg.SSDRandReadNs + float64(d.pageSize)/d.cfg.SSDSeqGBs)
+	for attempt := 1; attempt < maxReadAttempts && d.inj.SSDReadError(); attempt++ {
+		d.readRetries++
+		t.AdvanceNs(d.cfg.SSDRandReadNs + float64(d.pageSize)/d.cfg.SSDSeqGBs)
+	}
 }
 
 // WritePage charges the cost of paging one page out to the device.
@@ -66,6 +91,8 @@ type Stats struct {
 	Reads, Writes         int64
 	SeqReads              int64
 	BytesRead, BytesWrite int64
+	// ReadRetries counts device-level re-reads after injected read errors.
+	ReadRetries int64
 }
 
 // Stats returns the accumulated counters.
@@ -73,8 +100,9 @@ func (d *SSD) Stats() Stats {
 	return Stats{
 		Reads: d.reads, Writes: d.writes, SeqReads: d.seqReads,
 		BytesRead: d.bytesRead, BytesWrite: d.bytesWrite,
+		ReadRetries: d.readRetries,
 	}
 }
 
-// Reset clears counters and stream-detection state.
-func (d *SSD) Reset() { *d = SSD{cfg: d.cfg, pageSize: d.pageSize} }
+// Reset clears counters and stream-detection state, keeping the injector.
+func (d *SSD) Reset() { *d = SSD{cfg: d.cfg, pageSize: d.pageSize, inj: d.inj} }

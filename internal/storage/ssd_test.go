@@ -74,6 +74,59 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// scriptedInjector fails the first n read checks.
+type scriptedInjector struct{ failures int }
+
+func (s *scriptedInjector) SSDReadError() bool {
+	if s.failures > 0 {
+		s.failures--
+		return true
+	}
+	return false
+}
+
+func TestInjectedReadErrorRetries(t *testing.T) {
+	d, th := newTestSSD()
+	d.SetInjector(&scriptedInjector{failures: 1})
+	d.ReadPage(th, 100)
+	cfg := hw.Testbed()
+	once := cfg.SSDRandReadNs + 4096/cfg.SSDSeqGBs
+	want := 2 * sim.FromNs(once) // original read + one re-read
+	if th.Now() != want {
+		t.Fatalf("faulty read cost %v, want %v", th.Now(), want)
+	}
+	s := d.Stats()
+	if s.ReadRetries != 1 || s.Reads != 1 {
+		t.Fatalf("stats = %+v, want 1 read / 1 retry", s)
+	}
+}
+
+func TestReadRetriesAreCapped(t *testing.T) {
+	d, th := newTestSSD()
+	d.SetInjector(&scriptedInjector{failures: 100})
+	d.ReadPage(th, 7)
+	if got := d.Stats().ReadRetries; got != maxReadAttempts-1 {
+		t.Fatalf("retries = %d, want cap %d", got, maxReadAttempts-1)
+	}
+	if th.Now() == 0 {
+		t.Fatal("capped read charged nothing")
+	}
+}
+
+func TestResetKeepsInjector(t *testing.T) {
+	d, th := newTestSSD()
+	d.SetInjector(&scriptedInjector{failures: maxReadAttempts})
+	d.ReadPage(th, 1) // consumes maxReadAttempts-1 failures
+	d.Reset()
+	if s := d.Stats(); s.Reads != 0 || s.ReadRetries != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+	d.ReadPage(th, 2)
+	if d.Stats().ReadRetries == 0 {
+		t.Fatal("injector lost across Reset")
+	}
+}
+
 func TestSSDSlowerThanFabricPage(t *testing.T) {
 	// The premise of Figure 1a: paging from the remote memory pool must be
 	// far cheaper than paging from the SSD.

@@ -24,13 +24,20 @@ const (
 	KindPushdownStart
 	KindPushdownEnd
 	KindEviction
-	KindSync // syncmem / eager / migration flush
+	KindSync          // syncmem / eager / migration flush
+	KindFaultInjected // chaos layer injected a fault (Arg: fault detail)
+	KindRPCRetry      // fabric retransmitted a lost/corrupted message
+	KindPoolCrash     // heartbeat observed the memory controller down
+	KindPoolRecover   // heartbeat observed the memory controller back up
+	KindFallbackLocal // recovery policy ran a pushdown in the compute pool
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"remote-fault", "storage-fault", "writeback", "coherence",
 	"pushdown-start", "pushdown-end", "eviction", "sync",
+	"fault-injected", "rpc-retry", "pool-crash", "pool-recover",
+	"fallback-local",
 }
 
 // String names the kind.

@@ -54,6 +54,67 @@ func TestCountByKindAndDump(t *testing.T) {
 	}
 }
 
+// TestRingWraparound drives the ring through several full wraps and checks
+// the retained window, ordering, and totals at every step — including the
+// exact-capacity boundary where the append path hands over to the ring path.
+func TestRingWraparound(t *testing.T) {
+	const capacity = 4
+	r := New(capacity)
+	for i := 0; i < 3*capacity+1; i++ {
+		r.Add(Event{At: sim.Time(i), Kind: KindRPCRetry, Page: uint64(i)})
+		if want := uint64(i + 1); r.Total() != want {
+			t.Fatalf("after %d adds Total = %d, want %d", i+1, r.Total(), want)
+		}
+		evs := r.Events()
+		wantLen := i + 1
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if len(evs) != wantLen {
+			t.Fatalf("after %d adds retained %d, want %d", i+1, len(evs), wantLen)
+		}
+		first := i + 1 - wantLen
+		for j, e := range evs {
+			if e.Page != uint64(first+j) {
+				t.Fatalf("after %d adds events = %v (want pages %d..%d oldest-first)",
+					i+1, evs, first, i)
+			}
+		}
+	}
+}
+
+// TestRingWraparoundCountByKind: kind tallies must reflect only the retained
+// window, not overwritten history.
+func TestRingWraparoundCountByKind(t *testing.T) {
+	r := New(3)
+	r.Add(Event{Kind: KindPoolCrash})
+	r.Add(Event{Kind: KindPoolCrash})
+	r.Add(Event{Kind: KindPoolRecover})
+	r.Add(Event{Kind: KindFallbackLocal}) // overwrites the first pool-crash
+	counts := r.CountByKind()
+	if counts[KindPoolCrash] != 1 || counts[KindPoolRecover] != 1 || counts[KindFallbackLocal] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if r.Total() != 4 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindFaultInjected: "fault-injected",
+		KindRPCRetry:      "rpc-retry",
+		KindPoolCrash:     "pool-crash",
+		KindPoolRecover:   "pool-recover",
+		KindFallbackLocal: "fallback-local",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), name)
+		}
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	if KindRemoteFault.String() != "remote-fault" || KindSync.String() != "sync" {
 		t.Fatal("kind names")
