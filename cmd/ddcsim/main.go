@@ -6,6 +6,8 @@
 //
 //	ddcsim -workload Q9 -platform base-ddc
 //	ddcsim -workload SSSP -platform teleport -scale 4
+//	ddcsim -workload Q6 -platform teleport -report
+//	ddcsim -workload Q6 -platform teleport -trace-out q6.json -metrics-out q6-metrics.json
 package main
 
 import (
@@ -16,28 +18,40 @@ import (
 
 	"teleport/internal/bench"
 	"teleport/internal/fault"
+	"teleport/internal/trace"
 )
 
 func main() {
 	defaults := bench.Defaults()
 	var (
-		workload  = flag.String("workload", "Q6", "one of "+strings.Join(bench.WorkloadNames(), ", "))
-		platform  = flag.String("platform", "base-ddc", "one of "+strings.Join(bench.PlatformNames(), ", "))
-		scale     = flag.Float64("scale", defaults.Scale, "TPC-H micro scale factor")
-		graphNV   = flag.Int("graph-nv", defaults.GraphNV, "graph vertex count")
-		words     = flag.Int("words", defaults.Words, "corpus tokens")
-		seed      = flag.Int64("seed", defaults.Seed, "generator seed")
-		cacheFrac = flag.Float64("cache-frac", defaults.CacheFrac, "compute cache fraction")
-		traceN    = flag.Int("trace", 0, "dump the last N paging/coherence/pushdown events")
-		advise    = flag.Bool("advise", false, "profile on the base DDC and print the advisor's pushdown decisions")
-		chaosProf = flag.String("chaos-profile", "", "fault-injection profile: none, "+strings.Join(fault.ProfileNames(), ", "))
-		chaosSeed = flag.Int64("chaos-seed", 0, "fault plan seed (0 = reuse -seed)")
+		workload   = flag.String("workload", "Q6", "one of "+strings.Join(bench.WorkloadNames(), ", "))
+		platform   = flag.String("platform", "base-ddc", "one of "+strings.Join(bench.PlatformNames(), ", "))
+		scale      = flag.Float64("scale", defaults.Scale, "TPC-H micro scale factor")
+		graphNV    = flag.Int("graph-nv", defaults.GraphNV, "graph vertex count")
+		words      = flag.Int("words", defaults.Words, "corpus tokens")
+		seed       = flag.Int64("seed", defaults.Seed, "generator seed")
+		cacheFrac  = flag.Float64("cache-frac", defaults.CacheFrac, "compute cache fraction")
+		traceN     = flag.Int("trace", 0, "dump the last N paging/coherence/pushdown events")
+		traceOut   = flag.String("trace-out", "", "write the retained events as Chrome trace-event JSON (Perfetto-loadable) to this file")
+		traceDump  = flag.String("trace-dump", "", "write the retained events as text, one per line, to this file")
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file")
+		report     = flag.Bool("report", false, "print the per-run time-attribution report")
+		advise     = flag.Bool("advise", false, "profile on the base DDC and print the advisor's pushdown decisions")
+		chaosProf  = flag.String("chaos-profile", "", "fault-injection profile: none, "+strings.Join(fault.ProfileNames(), ", "))
+		chaosSeed  = flag.Int64("chaos-seed", 0, "fault plan seed (0 = reuse -seed)")
 	)
 	flag.Parse()
 
+	traceCap := *traceN
+	if traceCap == 0 && (*traceOut != "" || *traceDump != "") {
+		// Trace export asked for without an explicit ring size: retain a
+		// generous window.
+		traceCap = 1 << 18
+	}
 	opts := bench.Options{
 		Scale: *scale, GraphNV: *graphNV, Words: *words,
-		Seed: *seed, CacheFrac: *cacheFrac, TraceCap: *traceN,
+		Seed: *seed, CacheFrac: *cacheFrac, TraceCap: traceCap,
+		Metrics:      *metricsOut != "",
 		ChaosProfile: *chaosProf, ChaosSeed: *chaosSeed,
 	}
 	if *advise {
@@ -63,10 +77,56 @@ func main() {
 		fmt.Printf("  %-14s %12.6f %10d %12.1f %8v\n",
 			o.Name, o.Time.Seconds(), o.Calls, float64(o.RemoteByte)/1024, o.Pushed)
 	}
+	if *report && res.Report != nil {
+		fmt.Println()
+		res.Report.Fprint(os.Stdout)
+	}
 	if res.Fault != nil {
 		fmt.Printf("\n%s\n", res.Fault)
 	}
-	if len(res.Trace) > 0 {
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = trace.WriteChromeTrace(f, res.Trace)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s (load at ui.perfetto.dev)\n", len(res.Trace), *traceOut)
+	}
+	if *traceDump != "" {
+		f, err := os.Create(*traceDump)
+		if err == nil {
+			for _, e := range res.Trace {
+				fmt.Fprintln(f, e)
+			}
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace-dump:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", len(res.Trace), *traceDump)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = res.Metrics.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+	}
+	if *traceN > 0 && len(res.Trace) > 0 {
 		fmt.Printf("\nlast %d events:\n", len(res.Trace))
 		for _, e := range res.Trace {
 			fmt.Println(" ", e)

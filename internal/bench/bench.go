@@ -36,6 +36,11 @@ type Options struct {
 	// the machine (see internal/trace); RunWorkload returns its contents.
 	TraceCap int
 
+	// Metrics, when true, attaches a metrics registry to the machine;
+	// RunWorkload returns its snapshot. Like tracing, recording costs no
+	// virtual time — a run with Metrics on and off is bit-identical.
+	Metrics bool
+
 	// ChaosProfile names a fault-injection profile (see internal/fault;
 	// "" or "none" disables injection). Faults perturb virtual time, never
 	// answers: lost messages are retransmitted, failed reads re-read, and

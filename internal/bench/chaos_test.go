@@ -197,8 +197,14 @@ func TestRunWorkloadChaosReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunWorkload: %v", err)
 	}
+	if a.Nanos != b.Nanos {
+		t.Errorf("same-seed chaos runs differ in time: %dns vs %dns", a.Nanos, b.Nanos)
+	}
 	if a.Seconds != b.Seconds {
 		t.Errorf("same-seed chaos runs differ in time: %v vs %v", a.Seconds, b.Seconds)
+	}
+	if a.Nanos <= 0 || sim.Time(a.Nanos).Seconds() != a.Seconds {
+		t.Errorf("Nanos (%d) inconsistent with Seconds (%v)", a.Nanos, a.Seconds)
 	}
 	if *a.Fault != *b.Fault {
 		t.Errorf("same-seed chaos runs differ in fault report:\n  a=%+v\n  b=%+v", *a.Fault, *b.Fault)

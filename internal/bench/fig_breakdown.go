@@ -26,23 +26,25 @@ func fig10(opts Options) *Table {
 	t := &Table{
 		Figure: "Fig 10",
 		Title:  "Per-operator breakdown: local vs base DDC, with remote traffic",
-		Header: []string{"system", "operator", "local(s)", "ddc(s)", "remote(MB)"},
+		Header: []string{"system", "operator", "local(s)", "ddc(s)", "remote(MB)", "wire(s)"},
 	}
 	for _, name := range []string{"Q9", "SSSP", "WC"} {
 		w := findWorkload(name)
-		local := run(w, opts, runSpec{platform: platLocal})
-		base := run(w, opts, runSpec{platform: platBase})
-		localBy := map[string]sim.Time{}
-		for _, o := range local.Profile {
-			localBy[o.Name] = o.Time
+		local := newReport(name, "local", run(w, opts, runSpec{platform: platLocal}))
+		base := newReport(name, "base-ddc", run(w, opts, runSpec{platform: platBase}))
+		localBy := map[string]int64{}
+		for _, o := range local.Ops {
+			localBy[o.Name] = o.Ns
 		}
-		for _, o := range base.Profile {
-			t.AddRow(w.System+"/"+name, o.Name, fm(localBy[o.Name]), fm(o.Time),
-				fmt.Sprintf("%.1f", float64(o.RemoteByte)/(1<<20)))
+		for _, o := range base.Ops {
+			t.AddRow(w.System+"/"+name, o.Name, fm(sim.Time(localBy[o.Name])), fm(sim.Time(o.Ns)),
+				fmt.Sprintf("%.1f", float64(o.RemoteBytes)/(1<<20)),
+				fm(sim.Time(o.Comps.LayerNs("net"))))
 		}
 	}
 	t.Notes = append(t.Notes,
-		"paper: Q9 dominated by Projection (189GB) and HashJoin (87GB); SSSP by Finalize (249GB) and Scatter (42GB); WC by the map phase (181GB)")
+		"paper: Q9 dominated by Projection (189GB) and HashJoin (87GB); SSSP by Finalize (249GB) and Scatter (42GB); WC by the map phase (181GB)",
+		"wire(s) is the operator's fabric-transfer share from the attribution report")
 	return t
 }
 
@@ -101,7 +103,7 @@ func fig20(opts Options) *Table {
 		Title:  "Pushdown overhead breakdown (user function time excluded), ms",
 		Header: []string{"method", "pre", "request", "setup", "online-sync", "response", "post", "total-overhead"},
 	}
-	runMethod := func(flags core.Flags) core.Stats {
+	runMethod := func(flags core.Flags) core.RuntimeStats {
 		m := ddc.MustMachine(ddc.BaseDDC(1 << 30))
 		p := m.NewProcess()
 		// A working set scaled like the paper's 50 GB against a 1 GB cache:
@@ -117,7 +119,7 @@ func fig20(opts Options) *Table {
 		}
 		rt := core.NewRuntime(p, 1)
 		th := sim.NewThread("caller")
-		st, err := rt.Pushdown(th, func(env *ddc.Env) {
+		_, err := rt.Pushdown(th, func(env *ddc.Env) {
 			// A modest function: scan a slice of the space, including some
 			// pages the compute pool holds dirty (online coherence work).
 			for pg := 0; pg < 64; pg++ {
@@ -130,9 +132,18 @@ func fig20(opts Options) *Table {
 		if err != nil {
 			panic(err)
 		}
-		return st
+		return rt.Stats()
 	}
-	add := func(name string, st core.Stats) {
+	// The runtime's aggregated phase sums equal the single call's Stats, so
+	// the figure now reads the run-level observability surface that
+	// RunWorkload reports instead of a value threaded out of one call.
+	add := func(name string, rs core.RuntimeStats) {
+		st := core.Stats{
+			PreSync: rs.PreSyncTime, Request: rs.RequestTime,
+			Queue: rs.QueueTime, CtxSetup: rs.CtxSetupTime,
+			Exec: rs.ExecTime, OnlineSync: rs.OnlineSyncTime,
+			Response: rs.ResponseTime, PostSync: rs.PostSyncTime,
+		}
 		msf := func(d sim.Time) string { return fmt.Sprintf("%.3f", d.Millis()) }
 		t.AddRow(name, msf(st.PreSync), msf(st.Request), msf(st.Queue+st.CtxSetup),
 			msf(st.OnlineSync), msf(st.Response), msf(st.PostSync), msf(st.Overhead()))

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"teleport/internal/trace"
+)
+
+func obsOpts() Options {
+	return Options{Scale: 0.5, GraphNV: 8000, Words: 30000, Seed: 1, CacheFrac: 0.02}
+}
+
+// The golden observability guarantee: attaching the full observability
+// surface (trace ring + metrics registry) to a run changes nothing about
+// the simulation — same-seed runs with and without it are bit-identical in
+// virtual time, on clean and chaos runs alike.
+func TestObservabilityDoesNotPerturbVirtualTime(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		workload string
+		platform string
+		chaos    string
+	}{
+		{"clean-teleport", "Q6", "teleport", ""},
+		{"clean-base", "SSSP", "base-ddc", ""},
+		{"chaos-teleport", "Q6", "teleport", "chaos"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := obsOpts()
+			plain.ChaosProfile = tc.chaos
+			instrumented := plain
+			instrumented.TraceCap = 1 << 16
+			instrumented.Metrics = true
+
+			a, err := RunWorkload(tc.workload, tc.platform, plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunWorkload(tc.workload, tc.platform, instrumented)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Nanos != b.Nanos {
+				t.Fatalf("observability perturbed virtual time: %dns (off) vs %dns (on)",
+					a.Nanos, b.Nanos)
+			}
+			if len(b.Trace) == 0 || b.Metrics == nil {
+				t.Fatalf("instrumented run returned no trace/metrics")
+			}
+		})
+	}
+}
+
+// The attribution report partitions the run: every component is
+// non-negative, the compute residual is non-negative, and on a DDC platform
+// the wire components are non-zero. Per operator, attributed time can never
+// exceed the operator's elapsed time.
+func TestReportComponentsSumToTotal(t *testing.T) {
+	res, err := RunWorkload("Q6", "teleport", obsOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if r == nil {
+		t.Fatal("no report")
+	}
+	if r.TotalNs <= 0 {
+		t.Fatalf("report total = %d", r.TotalNs)
+	}
+	for c, v := range r.Comps {
+		if v < 0 {
+			t.Fatalf("component %d negative: %d", c, v)
+		}
+	}
+	if r.ComputeNs() < 0 {
+		t.Fatalf("compute residual negative: %d (total %d, attributed %d)",
+			r.ComputeNs(), r.TotalNs, r.Comps.TotalNs())
+	}
+	if r.Comps.LayerNs("net") == 0 {
+		t.Fatal("teleport run attributed no wire time")
+	}
+	if len(r.Ops) == 0 {
+		t.Fatal("report has no operator rows")
+	}
+	var opNs int64
+	for _, o := range r.Ops {
+		if o.Comps.TotalNs() > o.Ns {
+			t.Fatalf("operator %s attributed %dns of %dns elapsed",
+				o.Name, o.Comps.TotalNs(), o.Ns)
+		}
+		opNs += o.Ns
+	}
+	// Operators run inside the measured window; engine glue between
+	// operators is the only gap.
+	if opNs > r.TotalNs {
+		t.Fatalf("operator time %dns exceeds run total %dns", opNs, r.TotalNs)
+	}
+	if res.Nanos != opNs {
+		t.Fatalf("Nanos (%d) should equal summed operator time (%d)", res.Nanos, opNs)
+	}
+
+	// The rendered report must not be empty and must carry the totals.
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("report rendered empty")
+	}
+}
+
+// Two same-seed instrumented runs must produce byte-identical metrics
+// snapshots and valid, nesting Chrome trace JSON.
+func TestMetricsAndTraceExportDeterministic(t *testing.T) {
+	opts := obsOpts()
+	opts.TraceCap = 1 << 16
+	opts.Metrics = true
+	a, err := RunWorkload("Q6", "teleport", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkload("Q6", "teleport", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aj, bj bytes.Buffer
+	if err := a.Metrics.WriteJSON(&aj); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Metrics.WriteJSON(&bj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj.Bytes(), bj.Bytes()) {
+		t.Fatal("same-seed metrics snapshots differ")
+	}
+	if len(a.Metrics.Counters) == 0 || len(a.Metrics.Histograms) == 0 {
+		t.Fatalf("teleport run published no metrics: %v", a.Metrics)
+	}
+
+	var cj bytes.Buffer
+	if err := trace.WriteChromeTrace(&cj, a.Trace); err != nil {
+		t.Fatal(err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(cj.Bytes(), &file); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	spans := trace.PairSpans(a.Trace)
+	var sawPushChild, sawFault bool
+	for _, s := range spans {
+		if s.Parent != 0 && (s.Kind == trace.KindPushQueue || s.Kind == trace.KindPushExec ||
+			s.Kind == trace.KindPushSetup || s.Kind == trace.KindPushSync) {
+			sawPushChild = true
+		}
+		if s.Kind == trace.KindRemoteFault && s.Complete {
+			sawFault = true
+		}
+	}
+	if !sawPushChild || !sawFault {
+		t.Fatalf("trace lacks nested pushdown phases (%v) or fault spans (%v)",
+			sawPushChild, sawFault)
+	}
+}
+
+// A fault-free run has a nil *FaultReport; printing it must not panic.
+func TestFaultReportNilString(t *testing.T) {
+	var f *FaultReport
+	if got := f.String(); got != "chaos: none" {
+		t.Fatalf("nil FaultReport.String() = %q", got)
+	}
+	res, err := RunWorkload("Q6", "teleport", obsOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault != nil {
+		t.Fatal("fault report present without chaos")
+	}
+	if got := res.Fault.String(); got != "chaos: none" {
+		t.Fatalf("res.Fault.String() = %q", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"teleport/internal/advisor"
 	"teleport/internal/fault"
 	"teleport/internal/hw"
+	"teleport/internal/metrics"
 	"teleport/internal/profile"
 	"teleport/internal/trace"
 )
@@ -33,7 +34,15 @@ type WorkloadResult struct {
 	Workload string
 	Platform string
 	Seconds  float64
-	Profile  []profile.OpStat
+	// Nanos is the same duration as an exact integer nanosecond count, for
+	// bit-identical comparisons (floating-point seconds can round).
+	Nanos   int64
+	Profile []profile.OpStat
+	// Report breaks the run's virtual time down by attribution component
+	// and operator (always produced; costs no virtual time).
+	Report *Report
+	// Metrics is the registry snapshot when Options.Metrics is set.
+	Metrics *metrics.Snapshot
 	// Trace holds the machine's retained events when Options.TraceCap > 0.
 	Trace []trace.Event
 	// Fault summarises injection and recovery when Options.ChaosProfile is
@@ -63,8 +72,13 @@ type FaultReport struct {
 	LocalFallbacks   int64 // pushdowns degraded to compute-side execution
 }
 
-// String renders the report as one summary block.
+// String renders the report as one summary block. A nil report (fault-free
+// run) renders as a placeholder instead of panicking, so callers can print
+// result.Fault unconditionally.
 func (f *FaultReport) String() string {
+	if f == nil {
+		return "chaos: none"
+	}
 	return fmt.Sprintf(
 		"chaos profile=%s seed=%d\n  injected: %v\n  recovered: fabric retries=%d drops=%d, ssd re-reads=%d, pool stalls=%d\n  pushdown: pool-down obs=%d ctx crashes=%d retries=%d local fallbacks=%d",
 		f.Profile, f.Seed, f.Injected,
@@ -122,8 +136,13 @@ func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResul
 		Workload: workloadName,
 		Platform: platformName,
 		Seconds:  out.Time.Seconds(),
+		Nanos:    int64(out.Time),
 		Profile:  out.Profile,
+		Report:   newReport(workloadName, platformName, out),
 		Trace:    out.Proc.M.Trace.Events(),
+	}
+	if out.Reg != nil {
+		res.Metrics = out.Reg.Snapshot()
 	}
 	if chaosProf.Name != "none" {
 		m := out.Proc.M

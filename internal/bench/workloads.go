@@ -8,6 +8,7 @@ import (
 	"teleport/internal/graph"
 	"teleport/internal/hw"
 	"teleport/internal/mapreduce"
+	"teleport/internal/metrics"
 	"teleport/internal/profile"
 	"teleport/internal/sim"
 	"teleport/internal/tpch"
@@ -151,6 +152,11 @@ type runOut struct {
 	Proc    *ddc.Process
 	Exec    *profile.Exec
 	RT      *core.Runtime
+	// Attr partitions the driving thread's query-phase time by component
+	// (always collected; costs no virtual time).
+	Attr metrics.Attribution
+	// Reg is the metrics registry, non-nil when Options.Metrics is set.
+	Reg *metrics.Registry
 }
 
 // run executes w under spec.
@@ -185,6 +191,11 @@ func run(w workload, opts Options, spec runSpec) runOut {
 	m := ddc.MustMachine(cfg)
 	if opts.TraceCap > 0 {
 		m.AttachTrace(trace.New(opts.TraceCap))
+	}
+	var reg *metrics.Registry
+	if opts.Metrics {
+		reg = metrics.NewRegistry()
+		m.AttachMetrics(reg)
 	}
 	if prof, err := fault.ByName(opts.ChaosProfile); err == nil && prof.Name != "none" {
 		seed := opts.ChaosSeed
@@ -223,8 +234,17 @@ func run(w workload, opts Options, spec runSpec) runOut {
 		ex.Push(push...)
 		ex.PushFlags = spec.pushFlags
 	}
+	attrBefore := *m.Times
+	tstart := th.Now()
 	runFn(ex)
-	return runOut{Time: ex.Total(), Profile: ex.Profile(), Proc: p, Exec: ex, RT: rt}
+	return runOut{
+		Time: ex.Total(), Profile: ex.Profile(), Proc: p, Exec: ex, RT: rt,
+		Attr: metrics.Attribution{
+			TotalNs: int64(th.Now() - tstart),
+			Comps:   m.Times.Sub(attrBefore),
+		},
+		Reg: reg,
+	}
 }
 
 // findWorkload returns a named workload.

@@ -3,6 +3,7 @@ package core
 import (
 	"teleport/internal/ddc"
 	"teleport/internal/mem"
+	"teleport/internal/metrics"
 	"teleport/internal/netmodel"
 	"teleport/internal/sim"
 	"teleport/internal/trace"
@@ -67,8 +68,10 @@ func (mp *memPager) EnsurePage(e *ddc.Env, pg mem.PageID, write bool) {
 			respBytes = pageMsgBytes
 			p.Cache.ClearDirty(pg)
 		}
-		p.M.Trace.Add(trace.Event{At: e.T.Now(), Kind: trace.KindCoherence, Page: uint64(pg), Arg: b2i(write), Who: e.T.Name()})
+		sp := p.M.Tracer().Begin(e.T, trace.KindCoherence, uint64(pg), b2i(write))
 		p.M.Fabric.RoundTrip(e.T, ctrlMsgBytes, respBytes, netmodel.ClassCoherence)
+		p.M.Tracer().End(e.T, sp)
+		p.M.Metrics.Counter("coherence.rounds").Inc()
 		mp.st.CoherenceMsgs += 2
 		ps.rt.agg.CoherenceMsgs += 2
 		if write {
@@ -143,8 +146,10 @@ func (h *pushHooks) ComputeUpgrade(t *sim.Thread, pg mem.PageID) {
 	ps.rt.agg.Upgrades++
 	ent := ps.temp.entry(pg)
 	h.tiebreak(t, ent)
-	ps.rt.P.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindCoherence, Page: uint64(pg), Arg: 1, Who: t.Name()})
+	sp := ps.rt.P.M.Tracer().Begin(t, trace.KindCoherence, uint64(pg), 1)
 	ps.rt.P.M.Fabric.RoundTrip(t, ctrlMsgBytes, ctrlMsgBytes, netmodel.ClassCoherence)
+	ps.rt.P.M.Tracer().End(t, sp)
+	ps.rt.P.M.Metrics.Counter("coherence.rounds").Inc()
 	ps.rt.agg.CoherenceMsgs += 2
 	if ps.pso {
 		ent.writable = false
@@ -165,7 +170,9 @@ func (h *pushHooks) tiebreak(t *sim.Thread, ent *tempPTE) {
 		rt.agg.Contentions++
 		rt.P.M.Fabric.RoundTrip(t, ctrlMsgBytes, ctrlMsgBytes, netmodel.ClassCoherence)
 		rt.agg.CoherenceMsgs += 2
+		ws := t.Now()
 		t.Advance(rt.TiebreakWait)
+		rt.P.M.Times.Add(metrics.CompPushProto, t.Now()-ws)
 	}
 }
 

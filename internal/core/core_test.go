@@ -781,7 +781,7 @@ func fillVec(p *ddc.Process, th *sim.Thread, n int) mem.Addr {
 func countKind(r *trace.Ring, k trace.Kind) int {
 	n := 0
 	for _, ev := range r.Events() {
-		if ev.Kind == k {
+		if ev.Kind == k && ev.Phase != trace.PhaseEnd {
 			n++
 		}
 	}

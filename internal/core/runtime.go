@@ -6,6 +6,7 @@ import (
 	"teleport/internal/ddc"
 	"teleport/internal/hw"
 	"teleport/internal/mem"
+	"teleport/internal/metrics"
 	"teleport/internal/netmodel"
 	"teleport/internal/sim"
 	"teleport/internal/trace"
@@ -89,6 +90,30 @@ type RuntimeStats struct {
 	CtxCrashes       int64 // temporary-context crashes injected
 	Retries          int64 // pushdown re-attempts by the recovery policy
 	LocalFallbacks   int64 // pushdowns degraded to compute-side execution
+
+	// Per-phase virtual-time sums across calls (each call's Stats,
+	// accumulated), so a run-level report can break pushdown time down
+	// without retaining every per-call breakdown.
+	PreSyncTime    sim.Time
+	RequestTime    sim.Time
+	QueueTime      sim.Time
+	CtxSetupTime   sim.Time
+	ExecTime       sim.Time
+	OnlineSyncTime sim.Time
+	ResponseTime   sim.Time
+	PostSyncTime   sim.Time
+}
+
+// addPhases folds one call's breakdown into the aggregate sums.
+func (r *Runtime) addPhases(st *Stats) {
+	r.agg.PreSyncTime += st.PreSync
+	r.agg.RequestTime += st.Request
+	r.agg.QueueTime += st.Queue
+	r.agg.CtxSetupTime += st.CtxSetup
+	r.agg.ExecTime += st.Exec
+	r.agg.OnlineSyncTime += st.OnlineSync
+	r.agg.ResponseTime += st.Response
+	r.agg.PostSyncTime += st.PostSync
 }
 
 // NewRuntime returns a TELEPORT runtime for p with the given number of
@@ -217,10 +242,14 @@ func (r *Runtime) PushdownWithPolicy(t *sim.Thread, fn Func, opts Options, pol R
 			}
 			ctxRerun = true
 			r.agg.Retries++
+			r.P.M.Metrics.Counter("push.retries").Inc()
 
 		case Recoverable(err) && retries < pol.MaxRetries:
 			retries++
 			r.agg.Retries++
+			r.P.M.Metrics.Counter("push.retries").Inc()
+			ws := t.Now()
+			wsp := r.P.M.Tracer().Begin(t, trace.KindPushRetryWait, 0, int64(retries))
 			if recoverAt, down := r.poolDownAt(t.Now()); down && recoverAt > 0 {
 				// Scheduled outage: wait for the controller restart.
 				t.AdvanceTo(recoverAt)
@@ -230,6 +259,8 @@ func (r *Runtime) PushdownWithPolicy(t *sim.Thread, fn Func, opts Options, pol R
 					backoff *= 2
 				}
 			}
+			r.P.M.Tracer().End(t, wsp)
+			r.P.M.Times.Add(metrics.CompPushRetry, t.Now()-ws)
 
 		case Recoverable(err):
 			// Out of retries: degrade to compute-side execution.
@@ -246,8 +277,10 @@ func (r *Runtime) PushdownWithPolicy(t *sim.Thread, fn Func, opts Options, pol R
 // degradation.
 func (r *Runtime) runLocalFallback(t *sim.Thread, fn Func) {
 	r.agg.LocalFallbacks++
-	r.P.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindFallbackLocal, Who: t.Name()})
+	r.P.M.Metrics.Counter("push.fallbacks").Inc()
+	sp := r.P.M.Tracer().Begin(t, trace.KindFallbackLocal, 0, 0)
 	fn(r.P.NewEnv(t))
+	r.P.M.Tracer().End(t, sp)
 }
 
 // Pushdown ships fn to the memory pool and blocks the calling thread until
@@ -276,11 +309,22 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	r.agg.Calls++
 	callID := r.agg.Calls
 	p := r.P
+	defer r.addPhases(&st)
+	tr := p.M.Tracer()
 	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindPushdownStart, Arg: callID, Who: t.Name()})
+	callStart := t.Now()
+	sp := tr.Begin(t, trace.KindPushdown, 0, callID)
+	defer func() {
+		tr.End(t, sp)
+		p.M.Metrics.Counter("push.calls").Inc()
+		p.M.Metrics.Histogram("push.total.ns").Observe(t.Now() - callStart)
+	}()
 
 	// ❶–❷ Pre-pushdown synchronisation and request construction.
 	mark := t.Now()
+	ss := tr.Begin(t, trace.KindPushSync, 0, 0)
 	entries, eagerPages := r.preSync(t, opts)
+	tr.End(t, ss)
 	st.PreSync = t.Now() - mark
 	st.ResidentPages = len(entries)
 
@@ -319,12 +363,16 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	// ❸ Workqueue: wait for a free user context (FIFO; try_cancel applies
 	// while queued).
 	mark = t.Now()
-	if err := r.acquire(t, opts); err != nil {
-		st.Queue = t.Now() - mark
+	qs := tr.Begin(t, trace.KindPushQueue, 0, callID)
+	err = r.acquire(t, opts)
+	tr.End(t, qs)
+	st.Queue = t.Now() - mark
+	p.M.Times.Add(metrics.CompPushQueue, st.Queue)
+	p.M.Metrics.Histogram("push.queue.ns").Observe(st.Queue)
+	if err != nil {
 		r.agg.Cancelled++
 		return st, err
 	}
-	st.Queue = t.Now() - mark
 
 	// A crash while the request sat in the workqueue: the context we were
 	// just granted died with the controller.
@@ -335,7 +383,9 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 
 	// ❹ Temporary user context setup (Figure 8).
 	mark = t.Now()
+	cs := tr.Begin(t, trace.KindPushSetup, 0, callID)
 	ps := r.enterPush(t, entries, opts, &st)
+	tr.End(t, cs)
 	st.CtxSetup = t.Now() - mark
 
 	// A crash during context setup, or an injected crash of the temporary
@@ -349,10 +399,13 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	}
 	if p.M.Fault.CtxCrash() {
 		r.agg.CtxCrashes++
+		p.M.Metrics.Counter("push.ctx-crashes").Inc()
 		p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindFaultInjected, Arg: callID, Who: t.Name()})
 		// Reap cost: one context switch in the pool plus the failure
 		// notification round trip.
+		rs := t.Now()
 		t.AdvanceNs(p.M.Cfg.HW.CtxSwitchNs)
+		p.M.Times.Add(metrics.CompPushProto, t.Now()-rs)
 		p.M.Fabric.RoundTrip(t, ctrlMsgBytes, ctrlMsgBytes, netmodel.ClassPushdown)
 		r.exitPush(ps)
 		r.release(t)
@@ -361,6 +414,7 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 
 	// Function execution with online coherence (Figure 9).
 	mark = t.Now()
+	es := tr.Begin(t, trace.KindPushExec, 0, callID)
 	pager := &memPager{ps: ps, st: &st, opts: opts}
 	env := p.NewMemoryEnv(t, pager)
 	env.Dilation = r.dilation
@@ -373,7 +427,9 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 		}()
 		fn(env)
 	}()
+	tr.End(t, es)
 	st.Exec = t.Now() - mark
+	p.M.Metrics.Histogram("push.exec.ns").Observe(st.Exec)
 	killed := opts.ExecLimit > 0 && st.Exec > opts.ExecLimit
 
 	// ❺–❼ Completion response: status plus any tunnelled exception (§3.2's
@@ -391,7 +447,9 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 
 	// ❽ Post-pushdown synchronisation.
 	mark = t.Now()
+	posts := tr.Begin(t, trace.KindPushSync, 0, 1)
 	r.postSync(t, ps, opts, eagerPages)
+	tr.End(t, posts)
 	st.PostSync = t.Now() - mark
 
 	r.exitPush(ps)
@@ -471,7 +529,9 @@ func (r *Runtime) preSync(t *sim.Thread, opts Options) ([]netmodel.PageEntry, []
 			entries = append(entries, netmodel.PageEntry{ID: uint64(pg), Writable: w})
 			return true
 		})
+		as := t.Now()
 		t.AdvanceNs(hw.OpNs(cfg.ComputeClockGHz, float64(len(entries))*cfg.PageListEntryOps))
+		p.M.Times.Add(metrics.CompPushProto, t.Now()-as)
 		return entries, nil
 	}
 }
@@ -484,7 +544,9 @@ func (r *Runtime) flushPage(t *sim.Thread) {
 	r.P.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindSync, Who: t.Name()})
 	r.P.M.Fabric.RoundTrip(t, ctrlMsgBytes, ctrlMsgBytes, netmodel.ClassSync)
 	r.P.M.Fabric.Send(t, pageMsgBytes, netmodel.ClassSync)
+	hs := t.Now()
 	t.AdvanceNs(2 * cfg.FaultHandleNs)
+	r.P.M.Times.Add(metrics.CompPushProto, t.Now()-hs)
 }
 
 // enterPush creates or joins the shared pushdown coherence state and
@@ -494,7 +556,9 @@ func (r *Runtime) enterPush(t *sim.Thread, entries []netmodel.PageEntry, opts Op
 	cfg := &p.M.Cfg.HW
 	// Cloning the caller's full page table (Figure 8 line 7) visits every
 	// PTE of the process.
+	as := t.Now()
 	t.AdvanceNs(hw.OpNs(cfg.MemoryClockGHz, float64(p.Space.Pages())*cfg.PTEVisitOps))
+	p.M.Times.Add(metrics.CompPushProto, t.Now()-as)
 
 	if r.ps == nil {
 		r.ps = &pushState{rt: r, temp: newTempTable(), pso: opts.Flags&FlagPSO != 0}
@@ -551,7 +615,9 @@ func (r *Runtime) postSync(t *sim.Thread, ps *pushState, opts Options, eagerPage
 		// table — a local operation in the memory pool, no communication.
 		// Merged dirty pages will need a storage write-back if the pool
 		// later evicts them.
+		as := t.Now()
 		t.AdvanceNs(hw.OpNs(cfg.MemoryClockGHz, float64(ps.temp.len())*cfg.PTEVisitOps))
+		p.M.Times.Add(metrics.CompPushProto, t.Now()-as)
 		if p.PoolRes != nil {
 			for _, pg := range ps.temp.dirtyPages() {
 				p.PoolRes.MarkDirty(pg)
@@ -565,6 +631,7 @@ func (r *Runtime) postSync(t *sim.Thread, ps *pushState, opts Options, eagerPage
 func (r *Runtime) acquire(t *sim.Thread, opts Options) error {
 	if r.running < r.Contexts {
 		r.running++
+		r.P.M.Metrics.Gauge("push.running").Set(int64(r.running))
 		return nil
 	}
 	w := &waiter{t: t}
@@ -583,6 +650,7 @@ func (r *Runtime) acquire(t *sim.Thread, opts Options) error {
 // non-expired waiter, cancelling waiters whose deadline has passed.
 func (r *Runtime) release(t *sim.Thread) {
 	r.running--
+	r.P.M.Metrics.Gauge("push.running").Set(int64(r.running))
 	now := t.Now()
 	for len(r.queue) > 0 {
 		w := r.queue[0]
@@ -595,6 +663,7 @@ func (r *Runtime) release(t *sim.Thread) {
 			continue
 		}
 		r.running++
+		r.P.M.Metrics.Gauge("push.running").Set(int64(r.running))
 		w.t.Unblock(now)
 		return
 	}

@@ -3,6 +3,7 @@ package ddc
 import (
 	"teleport/internal/hw"
 	"teleport/internal/mem"
+	"teleport/internal/metrics"
 	"teleport/internal/netmodel"
 	"teleport/internal/sim"
 	"teleport/internal/trace"
@@ -302,7 +303,10 @@ func ensureLocal(e *Env, pg mem.PageID, write bool) {
 	}
 	p.stats.CacheMisses++
 	p.stats.SSDFaults++
+	hs := e.T.Now()
 	e.T.AdvanceNs(p.M.Cfg.HW.FaultHandleNs)
+	p.M.Times.Add(metrics.CompFaultSW, e.T.Now()-hs)
+	p.M.Metrics.Counter("fault.ssd").Inc()
 	p.M.SSD.ReadPage(e.T, uint64(pg))
 	for _, v := range p.Cache.Insert(pg, true, write) {
 		if v.Dirty {
@@ -319,6 +323,7 @@ func ensureLocal(e *Env, pg mem.PageID, write bool) {
 func upgradeWrite(e *Env, pg mem.PageID) {
 	p := e.P
 	p.stats.Upgrades++
+	p.M.Metrics.Counter("upgrade").Inc()
 	if p.hooks != nil {
 		p.hooks.ComputeUpgrade(e.T, pg)
 	}
@@ -335,9 +340,12 @@ func remoteFault(e *Env, pg mem.PageID, write bool) {
 	// to go: the compute pool stalls until the controller restarts.
 	p.M.WaitPoolUp(e.T)
 	p.stats.RemoteFaults++
-	p.M.Trace.Add(trace.Event{At: e.T.Now(), Kind: trace.KindRemoteFault, Page: uint64(pg), Arg: b2i(write), Who: e.T.Name()})
+	fstart := e.T.Now()
+	sp := p.M.Tracer().Begin(e.T, trace.KindRemoteFault, uint64(pg), b2i(write))
 	p.M.Fabric.RoundTrip(e.T, faultReqBytes, pageRespBytes, netmodel.ClassPageFault)
+	hs := e.T.Now()
 	e.T.AdvanceNs(cfg.FaultHandleNs)
+	p.M.Times.Add(metrics.CompFaultSW, e.T.Now()-hs)
 	p.EnsureInPool(e.T, pg, write)
 	if p.hooks != nil {
 		p.hooks.ComputeFaulted(e.T, pg, write)
@@ -359,10 +367,16 @@ func remoteFault(e *Env, pg mem.PageID, write bool) {
 				break // don't drag the storage pool into a prefetch
 			}
 			p.stats.Prefetched++
+			ps := e.T.Now()
 			e.T.AdvanceNs(float64(mem.PageSize) / cfg.NetBandwidthGBs)
+			p.M.Times.Add(metrics.CompPrefetch, e.T.Now()-ps)
+			p.M.Metrics.Counter("prefetch").Inc()
 			evictAll(e, p.Cache.Insert(next, false, false))
 		}
 	}
+	p.M.Tracer().End(e.T, sp)
+	p.M.Metrics.Counter("fault.remote").Inc()
+	p.M.Metrics.Histogram("fault.remote.ns").Observe(e.T.Now() - fstart)
 	p.noteFault(pg)
 	p.Epoch++
 }
@@ -371,6 +385,7 @@ func remoteFault(e *Env, pg mem.PageID, write bool) {
 func evictAll(e *Env, victims []Evicted) {
 	for _, v := range victims {
 		e.P.M.Trace.Add(trace.Event{At: e.T.Now(), Kind: trace.KindEviction, Page: uint64(v.Page), Arg: b2i(v.Dirty), Who: e.T.Name()})
+		e.P.M.Metrics.Counter("eviction").Inc()
 		if v.Dirty {
 			e.P.stats.Writebacks++
 			e.P.M.Fabric.Send(e.T, writebackBytes, netmodel.ClassWriteback)

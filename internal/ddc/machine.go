@@ -3,6 +3,7 @@ package ddc
 import (
 	"teleport/internal/fault"
 	"teleport/internal/mem"
+	"teleport/internal/metrics"
 	"teleport/internal/netmodel"
 	"teleport/internal/sim"
 	"teleport/internal/storage"
@@ -34,9 +35,21 @@ type Machine struct {
 	// SSD, TELEPORT runtime — consults the same plan.
 	Fault *fault.Plan
 
+	// Times is the machine-wide virtual-time attribution accumulator:
+	// every layer charges its own advances to a disjoint component, so
+	// elapsed − Times.TotalNs() is pure compute. Always allocated; reads
+	// and writes cost no virtual time.
+	Times *metrics.TimeSet
+
+	// Metrics, when non-nil, is the machine's quantitative registry.
+	// Attach with AttachMetrics so fabric and SSD publish into it too.
+	Metrics *metrics.Registry
+
 	// PoolStalls counts paging operations that had to wait out a
 	// memory-controller outage.
 	PoolStalls int64
+
+	spans *trace.Tracer // lazily built over Trace; see Tracer()
 }
 
 // NewMachine validates cfg and assembles the machine.
@@ -44,9 +57,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{Cfg: cfg}
+	m := &Machine{Cfg: cfg, Times: &metrics.TimeSet{}}
 	m.Fabric = netmodel.New(&m.Cfg.HW)
 	m.SSD = storage.New(&m.Cfg.HW, mem.PageSize)
+	m.Fabric.SetTimes(m.Times)
+	m.SSD.SetTimes(m.Times)
 	return m, nil
 }
 
@@ -60,10 +75,38 @@ func MustMachine(cfg Config) *Machine {
 }
 
 // AttachTrace installs an event ring on the machine and on the fabric, so
-// paging, coherence, pushdown, and fault events interleave in one timeline.
+// paging, coherence, pushdown, and fault events interleave in one timeline,
+// and builds the span tracer over it so faults, RPCs, SSD accesses, and
+// pushdowns record begin/end intervals with parentage.
 func (m *Machine) AttachTrace(r *trace.Ring) {
 	m.Trace = r
 	m.Fabric.SetTrace(r)
+	m.spans = trace.NewTracer(r)
+	m.Fabric.SetTracer(m.spans)
+	m.SSD.SetTracer(m.spans)
+}
+
+// Tracer returns the machine's span tracer, building one on demand when a
+// test installed a ring on m.Trace directly instead of via AttachTrace. Nil
+// when tracing is off (and nil is safe to call Begin/End on).
+func (m *Machine) Tracer() *trace.Tracer {
+	if m.Trace == nil {
+		return nil
+	}
+	if m.spans == nil || m.spans.Ring() != m.Trace {
+		m.spans = trace.NewTracer(m.Trace)
+		m.Fabric.SetTracer(m.spans)
+		m.SSD.SetTracer(m.spans)
+	}
+	return m.spans
+}
+
+// AttachMetrics installs (or, with nil, detaches) a metrics registry on the
+// machine and on the layers that publish into one.
+func (m *Machine) AttachMetrics(reg *metrics.Registry) {
+	m.Metrics = reg
+	m.Fabric.SetMetrics(reg)
+	m.SSD.SetMetrics(reg)
 }
 
 // AttachFault installs a chaos plan on every layer of the machine: the
@@ -91,7 +134,11 @@ func (m *Machine) WaitPoolUp(t *sim.Thread) bool {
 		return false
 	}
 	m.PoolStalls++
+	start := t.Now()
 	t.AdvanceTo(recoverAt)
+	m.Times.Add(metrics.CompPoolStall, t.Now()-start)
+	m.Metrics.Counter("pool.stall").Inc()
+	m.Metrics.Histogram("pool.stall.ns").Observe(t.Now() - start)
 	return true
 }
 
@@ -272,9 +319,11 @@ func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
 	// restarts.
 	p.M.WaitPoolUp(t)
 	p.stats.StorageInFault++
-	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindStorageFault, Page: uint64(pg), Who: t.Name()})
+	sp := p.M.Tracer().Begin(t, trace.KindStorageFault, uint64(pg), b2i(write))
 	p.M.Fabric.RoundTrip(t, faultReqBytes, pageRespBytes, netmodel.ClassStorage)
+	hs := t.Now()
 	t.AdvanceNs(p.M.Cfg.HW.FaultHandleNs)
+	p.M.Times.Add(metrics.CompFaultSW, t.Now()-hs)
 	p.M.SSD.ReadPage(t, uint64(pg))
 	for _, v := range p.PoolRes.Insert(pg, true, write) {
 		p.stats.StorageEvicts++
@@ -283,6 +332,8 @@ func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
 			p.M.SSD.WritePage(t, uint64(v.Page))
 		}
 	}
+	p.M.Tracer().End(t, sp)
+	p.M.Metrics.Counter("fault.storage").Inc()
 	p.Epoch++
 }
 
@@ -291,8 +342,10 @@ func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
 func (p *Process) WritebackPage(t *sim.Thread, pg mem.PageID) {
 	p.M.WaitPoolUp(t)
 	p.stats.Writebacks++
-	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindWriteback, Page: uint64(pg), Who: t.Name()})
+	sp := p.M.Tracer().Begin(t, trace.KindWriteback, uint64(pg), 0)
 	p.M.Fabric.Send(t, writebackBytes, netmodel.ClassWriteback)
+	p.M.Tracer().End(t, sp)
+	p.M.Metrics.Counter("writeback").Inc()
 	p.Cache.ClearDirty(pg)
 	p.Epoch++
 }

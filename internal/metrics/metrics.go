@@ -1,0 +1,269 @@
+// Package metrics is the simulator's quantitative observability layer: a
+// named registry of counters, gauges, and fixed-bucket virtual-time
+// histograms that the paging, network, storage, and pushdown paths publish
+// into. Like internal/trace it is strictly passive — recording a metric
+// never advances a virtual clock — and every handle is nil-safe, so call
+// sites need no guards and a machine without a registry pays nothing.
+//
+// Iteration order is deterministic (sorted names), so two same-seed runs
+// produce byte-identical snapshot JSON — the property the determinism suite
+// pins.
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"teleport/internal/sim"
+)
+
+// Counter is a monotonically increasing named value.
+type Counter struct{ v int64 }
+
+// Add increases the counter (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a named value that can move both ways.
+type Gauge struct{ v int64 }
+
+// Set replaces the gauge value (no-op on nil).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v += n
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram of virtual durations. An observation
+// lands in the first bucket whose upper bound (in nanoseconds, inclusive) is
+// ≥ the value; anything beyond the last bound lands in the overflow bucket.
+type Histogram struct {
+	bounds []int64 // upper bounds, ascending
+	counts []int64 // len(bounds)+1, last is overflow
+	sum    int64
+	n      int64
+}
+
+// Observe records one duration (no-op on nil).
+func (h *Histogram) Observe(d sim.Time) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	h.n++
+	h.sum += ns
+	for i, b := range h.bounds {
+		if ns <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the summed observations in nanoseconds (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// DefaultLatencyBuckets returns the 1-2-5 decade ladder from 100 ns to 1 s
+// used by every latency histogram unless a caller supplies its own bounds.
+func DefaultLatencyBuckets() []int64 {
+	var b []int64
+	for _, base := range []int64{100, 1000, 10 * 1000, 100 * 1000,
+		1000 * 1000, 10 * 1000 * 1000, 100 * 1000 * 1000} {
+		b = append(b, base, 2*base, 5*base)
+	}
+	return append(b, int64(sim.Second))
+}
+
+// Registry is a named metric namespace. The zero value of *Registry (nil) is
+// the disabled state: every accessor returns a nil handle whose methods are
+// no-ops, mirroring trace.Ring's contract. Methods are not synchronised —
+// the virtual-time scheduler runs one simulated thread at a time.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the default
+// latency buckets on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWithBuckets(name, nil)
+}
+
+// HistogramWithBuckets returns the named histogram, creating it with the
+// given ascending upper bounds (nil = DefaultLatencyBuckets). Bounds are
+// fixed at creation; later calls ignore the argument.
+func (r *Registry) HistogramWithBuckets(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets()
+		}
+		h = &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is one histogram's exported state.
+type HistogramSnapshot struct {
+	BoundsNs []int64 `json:"bounds_ns"`
+	Counts   []int64 `json:"counts"` // len(BoundsNs)+1; last is overflow
+	Count    int64   `json:"count"`
+	SumNs    int64   `json:"sum_ns"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Marshal
+// order is deterministic: encoding/json sorts map keys.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state (nil registry → nil).
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistogramSnapshot{
+			BoundsNs: append([]int64(nil), h.bounds...),
+			Counts:   append([]int64(nil), h.counts...),
+			Count:    h.n,
+			SumNs:    h.sum,
+		}
+	}
+	return s
+}
+
+// Names returns every metric name, sorted, with its type prefixed — the
+// registry's deterministic iteration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, "counter/"+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "gauge/"+n)
+	}
+	for n := range r.hists {
+		names = append(names, "histogram/"+n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the snapshot as indented JSON. A nil snapshot writes an
+// empty one. Byte-identical across same-seed runs: encoding/json sorts map
+// keys.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	if s == nil {
+		s = &Snapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON snapshots the registry and writes it as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"teleport/internal/hw"
+	"teleport/internal/metrics"
 	"teleport/internal/sim"
 	"teleport/internal/trace"
 )
@@ -47,6 +48,14 @@ func (c Class) String() string {
 // NumClasses returns the number of traffic classes (for per-class tables in
 // other packages).
 func NumClasses() int { return int(numClasses) }
+
+// Comp maps the class to its attribution component. The metrics package
+// declares its wire components in class order, which compCheck pins.
+func (c Class) Comp() metrics.Comp { return metrics.CompWirePageFault + metrics.Comp(c) }
+
+// compCheck fails to compile if the wire components drift out of alignment
+// with the traffic classes.
+var _ = [1]struct{}{}[int(ClassSync)+int(metrics.CompWirePageFault)-int(metrics.CompWireSync)]
 
 // Stat is a per-class counter set: delivered traffic plus the transient
 // faults survived getting it there.
@@ -89,6 +98,15 @@ type Fabric struct {
 	stats [numClasses]Stat
 	inj   Injector
 	ring  *trace.Ring
+	times *metrics.TimeSet // machine-wide wire-time attribution (nil-safe)
+	tr    *trace.Tracer    // span layer (nil = spans off)
+	mx    [numClasses]fabricMetrics
+}
+
+// fabricMetrics caches one class's registry handles (all nil-safe).
+type fabricMetrics struct {
+	msgs, bytes *metrics.Counter
+	ns          *metrics.Histogram
 }
 
 // New returns a fabric using the given hardware parameters.
@@ -101,9 +119,48 @@ func (f *Fabric) SetInjector(inj Injector) { f.inj = inj }
 // events (nil-safe, like the ring itself).
 func (f *Fabric) SetTrace(r *trace.Ring) { f.ring = r }
 
+// SetTracer attaches a span tracer: every Send/RoundTrip becomes an "rpc"
+// span (Arg: class), nesting under whatever operation issued it.
+func (f *Fabric) SetTracer(tr *trace.Tracer) { f.tr = tr }
+
+// SetTimes attaches the machine-wide attribution accumulator; each
+// operation's elapsed virtual time is charged to its class's wire component.
+func (f *Fabric) SetTimes(ts *metrics.TimeSet) { f.times = ts }
+
+// SetMetrics attaches (or detaches, with nil) a metrics registry and caches
+// the per-class handles.
+func (f *Fabric) SetMetrics(reg *metrics.Registry) {
+	for c := Class(0); c < numClasses; c++ {
+		if reg == nil {
+			f.mx[c] = fabricMetrics{}
+			continue
+		}
+		name := "net." + c.String()
+		f.mx[c] = fabricMetrics{
+			msgs:  reg.Counter(name + ".msgs"),
+			bytes: reg.Counter(name + ".bytes"),
+			ns:    reg.Histogram(name + ".ns"),
+		}
+	}
+}
+
 // Send models a one-way message of the given size: latency + transfer time,
 // charged to t, plus any injected transient faults and their retransmissions.
 func (f *Fabric) Send(t *sim.Thread, bytes int, class Class) {
+	start := t.Now()
+	sp := f.tr.Begin(t, trace.KindRPC, 0, int64(class))
+	f.send(t, bytes, class)
+	f.tr.End(t, sp)
+	f.observe(t, class, start)
+}
+
+// observe attributes one completed operation's elapsed time.
+func (f *Fabric) observe(t *sim.Thread, class Class, start sim.Time) {
+	f.times.Add(class.Comp(), t.Now()-start)
+	f.mx[class].ns.Observe(t.Now() - start)
+}
+
+func (f *Fabric) send(t *sim.Thread, bytes int, class Class) {
 	f.count(class, bytes)
 	t.AdvanceNs(f.cfg.MsgNs(bytes))
 	if f.inj == nil {
@@ -137,6 +194,14 @@ func (f *Fabric) Send(t *sim.Thread, bytes int, class Class) {
 // retransmits the whole RPC after a backoff (the requester cannot tell which
 // leg died).
 func (f *Fabric) RoundTrip(t *sim.Thread, reqBytes, respBytes int, class Class) {
+	start := t.Now()
+	sp := f.tr.Begin(t, trace.KindRPC, 0, int64(class))
+	f.roundTrip(t, reqBytes, respBytes, class)
+	f.tr.End(t, sp)
+	f.observe(t, class, start)
+}
+
+func (f *Fabric) roundTrip(t *sim.Thread, reqBytes, respBytes int, class Class) {
 	f.count(class, reqBytes)
 	f.count(class, respBytes)
 	t.AdvanceNs(f.cfg.RoundTripNs(reqBytes, respBytes))
@@ -181,6 +246,8 @@ func (f *Fabric) Async(bytes int, class Class) sim.Time {
 func (f *Fabric) count(class Class, bytes int) {
 	f.stats[class].Msgs++
 	f.stats[class].Bytes += int64(bytes)
+	f.mx[class].msgs.Inc()
+	f.mx[class].bytes.Add(int64(bytes))
 }
 
 // Stats returns the counters for one class.

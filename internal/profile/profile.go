@@ -11,6 +11,7 @@ import (
 
 	"teleport/internal/core"
 	"teleport/internal/ddc"
+	"teleport/internal/metrics"
 	"teleport/internal/sim"
 )
 
@@ -47,6 +48,11 @@ type OpStat struct {
 	RemoteByte int64
 	Calls      int
 	Pushed     bool
+
+	// Attr breaks Time down by attribution component (wire, SSD, fault
+	// handling, pushdown protocol, ...); Time minus Attr's total is the
+	// operator's pure compute.
+	Attr metrics.TimeSet
 }
 
 // Intensity returns remote memory accesses per second of operator time —
@@ -88,6 +94,7 @@ func (ex *Exec) Pushed(name string) bool { return ex.push[name] }
 func (ex *Exec) Run(name string, fn func(env *ddc.Env)) {
 	start := ex.T.Now()
 	before := ex.P.M.Fabric.Total()
+	attrBefore := *ex.P.M.Times
 	pushed := ex.push[name] && ex.RT != nil
 	if pushed {
 		// PushdownWithPolicy absorbs recoverable failures (retry, then
@@ -115,6 +122,9 @@ func (ex *Exec) Run(name string, fn func(env *ddc.Env)) {
 	o.RemoteByte += after.Bytes - before.Bytes
 	o.Calls++
 	o.Pushed = o.Pushed || pushed
+	o.Attr.AddSet(ex.P.M.Times.Sub(attrBefore))
+	ex.P.M.Metrics.Counter("op." + name + ".calls").Inc()
+	ex.P.M.Metrics.Histogram("op." + name + ".ns").Observe(ex.T.Now() - start)
 }
 
 // Profile returns the per-operator stats in first-execution order.

@@ -7,7 +7,9 @@ package storage
 
 import (
 	"teleport/internal/hw"
+	"teleport/internal/metrics"
 	"teleport/internal/sim"
+	"teleport/internal/trace"
 )
 
 // Injector decides whether one device read fails its media/CRC check and
@@ -28,6 +30,9 @@ type SSD struct {
 	cfg      *hw.Config
 	pageSize int
 	inj      Injector
+	times    *metrics.TimeSet // machine-wide attribution (nil-safe)
+	tr       *trace.Tracer    // span layer (nil = spans off)
+	reg      *metrics.Registry
 
 	lastRead  uint64
 	lastWrite uint64
@@ -50,10 +55,22 @@ func New(cfg *hw.Config, pageSize int) *SSD {
 // SetInjector attaches (or detaches, with nil) a read-error injector.
 func (d *SSD) SetInjector(inj Injector) { d.inj = inj }
 
+// SetTracer attaches a span tracer: each page-in/page-out becomes an
+// ssd-read/ssd-write span nesting under the fault that triggered it.
+func (d *SSD) SetTracer(tr *trace.Tracer) { d.tr = tr }
+
+// SetTimes attaches the machine-wide attribution accumulator.
+func (d *SSD) SetTimes(ts *metrics.TimeSet) { d.times = ts }
+
+// SetMetrics attaches (or detaches, with nil) a metrics registry.
+func (d *SSD) SetMetrics(reg *metrics.Registry) { d.reg = reg }
+
 // ReadPage charges the cost of paging one page in from the device. An
 // injected read error re-reads the page at full random-access cost (the
 // stream is broken by the seek back).
 func (d *SSD) ReadPage(t *sim.Thread, page uint64) {
+	start := t.Now()
+	sp := d.tr.Begin(t, trace.KindSSDRead, page, 0)
 	d.reads++
 	d.bytesRead += int64(d.pageSize)
 	seq := d.haveRead && page == d.lastRead+1
@@ -64,26 +81,35 @@ func (d *SSD) ReadPage(t *sim.Thread, page uint64) {
 	} else {
 		t.AdvanceNs(d.cfg.SSDRandReadNs + float64(d.pageSize)/d.cfg.SSDSeqGBs)
 	}
-	if d.inj == nil {
-		return
+	if d.inj != nil {
+		for attempt := 1; attempt < maxReadAttempts && d.inj.SSDReadError(); attempt++ {
+			d.readRetries++
+			t.AdvanceNs(d.cfg.SSDRandReadNs + float64(d.pageSize)/d.cfg.SSDSeqGBs)
+		}
 	}
-	for attempt := 1; attempt < maxReadAttempts && d.inj.SSDReadError(); attempt++ {
-		d.readRetries++
-		t.AdvanceNs(d.cfg.SSDRandReadNs + float64(d.pageSize)/d.cfg.SSDSeqGBs)
-	}
+	d.tr.End(t, sp)
+	d.times.Add(metrics.CompSSDRead, t.Now()-start)
+	d.reg.Counter("ssd.read").Inc()
+	d.reg.Histogram("ssd.read.ns").Observe(t.Now() - start)
 }
 
 // WritePage charges the cost of paging one page out to the device.
 func (d *SSD) WritePage(t *sim.Thread, page uint64) {
+	start := t.Now()
+	sp := d.tr.Begin(t, trace.KindSSDWrite, page, 0)
 	d.writes++
 	d.bytesWrite += int64(d.pageSize)
 	seq := d.haveWrite && page == d.lastWrite+1
 	d.lastWrite, d.haveWrite = page, true
 	if seq {
 		t.AdvanceNs(float64(d.pageSize) / d.cfg.SSDSeqGBs)
-		return
+	} else {
+		t.AdvanceNs(d.cfg.SSDRandWriteNs + float64(d.pageSize)/d.cfg.SSDSeqGBs)
 	}
-	t.AdvanceNs(d.cfg.SSDRandWriteNs + float64(d.pageSize)/d.cfg.SSDSeqGBs)
+	d.tr.End(t, sp)
+	d.times.Add(metrics.CompSSDWrite, t.Now()-start)
+	d.reg.Counter("ssd.write").Inc()
+	d.reg.Histogram("ssd.write.ns").Observe(t.Now() - start)
 }
 
 // Stats describes accumulated device activity.
@@ -104,5 +130,9 @@ func (d *SSD) Stats() Stats {
 	}
 }
 
-// Reset clears counters and stream-detection state, keeping the injector.
-func (d *SSD) Reset() { *d = SSD{cfg: d.cfg, pageSize: d.pageSize, inj: d.inj} }
+// Reset clears counters and stream-detection state, keeping the injector
+// and observability attachments.
+func (d *SSD) Reset() {
+	*d = SSD{cfg: d.cfg, pageSize: d.pageSize, inj: d.inj,
+		times: d.times, tr: d.tr, reg: d.reg}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// This file exports a retained event window as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Timestamps are
+// virtual time: the exporter divides virtual nanoseconds by 1000 into the
+// format's microsecond unit, so one trace second is one simulated second.
+
+// chromeEvent is one record of the trace-event format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the containing object ({"traceEvents": [...]}).
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace converts events (oldest-first, as returned by
+// Ring.Events) to Chrome trace-event JSON. Paired spans become complete "X"
+// events, so Perfetto nests them by timestamp on each thread track;
+// incomplete spans (open at capture, or begin lost to wraparound) and
+// instant events become "i" marks.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	tids := make(map[string]int)
+	var names []string
+	tid := func(who string) int {
+		if id, ok := tids[who]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[who] = id
+		names = append(names, who)
+		return id
+	}
+
+	var out []chromeEvent
+	for _, s := range PairSpans(events) {
+		args := map[string]any{"span": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		if s.Page != 0 {
+			args["page"] = s.Page
+		}
+		if s.Arg != 0 {
+			args["arg"] = s.Arg
+		}
+		ev := chromeEvent{
+			Name: s.Kind.String(), Cat: "teleport",
+			Ts: float64(s.Start) / 1e3, Pid: 1, Tid: tid(s.Who), Args: args,
+		}
+		if s.Complete {
+			dur := float64(s.Duration()) / 1e3
+			ev.Ph, ev.Dur = "X", &dur
+		} else {
+			ev.Ph, ev.S = "i", "t"
+		}
+		out = append(out, ev)
+	}
+	for _, e := range events {
+		if e.Phase != PhaseInstant {
+			continue
+		}
+		out = append(out, chromeEvent{
+			Name: e.Kind.String(), Cat: "teleport", Ph: "i", S: "t",
+			Ts: float64(e.At) / 1e3, Pid: 1, Tid: tid(e.Who),
+			Args: map[string]any{"page": e.Page, "arg": e.Arg},
+		})
+	}
+	// Stable output: order by timestamp, then thread, then name.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Ts != out[j].Ts {
+			return out[i].Ts < out[j].Ts
+		}
+		if out[i].Tid != out[j].Tid {
+			return out[i].Tid < out[j].Tid
+		}
+		return out[i].Name < out[j].Name
+	})
+	// Thread-name metadata so Perfetto labels the tracks.
+	meta := make([]chromeEvent, 0, len(names))
+	for _, who := range names {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[who],
+			Args: map[string]any{"name": who},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{TraceEvents: append(meta, out...), DisplayTimeUnit: "ns"})
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"teleport/internal/sim"
+)
+
+// A nil tracer is inert: Begin returns 0, End(0) is a no-op, and nothing is
+// recorded — the disabled-by-default contract.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	th := sim.NewThread("t")
+	id := tr.Begin(th, KindRPC, 0, 0)
+	if id != 0 {
+		t.Fatalf("nil tracer Begin = %d, want 0", id)
+	}
+	tr.End(th, id)
+	if tr.Ring() != nil {
+		t.Fatalf("nil tracer ring non-nil")
+	}
+
+	// Begin/End on a live tracer over a nil ring must not panic either.
+	tr2 := NewTracer(nil)
+	id2 := tr2.Begin(th, KindRPC, 0, 0)
+	tr2.End(th, id2)
+}
+
+func TestSpanNestingAndPairing(t *testing.T) {
+	r := New(64)
+	tr := NewTracer(r)
+	th := sim.NewThread("worker")
+
+	outer := tr.Begin(th, KindRemoteFault, 7, 1)
+	th.AdvanceNs(100)
+	inner := tr.Begin(th, KindSSDRead, 7, 0)
+	th.AdvanceNs(50)
+	tr.End(th, inner)
+	th.AdvanceNs(25)
+	tr.End(th, outer)
+
+	spans := PairSpans(r.Events())
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	o, i := spans[0], spans[1]
+	if o.Kind != KindRemoteFault || i.Kind != KindSSDRead {
+		t.Fatalf("kinds = %v/%v", o.Kind, i.Kind)
+	}
+	if i.Parent != o.ID {
+		t.Fatalf("inner parent = %d, want %d", i.Parent, o.ID)
+	}
+	if o.Parent != 0 {
+		t.Fatalf("outer parent = %d, want 0 (root)", o.Parent)
+	}
+	if !o.Complete || !i.Complete {
+		t.Fatalf("spans incomplete: %+v %+v", o, i)
+	}
+	if o.Duration() != 175 || i.Duration() != 50 {
+		t.Fatalf("durations = %v/%v, want 175ns/50ns", o.Duration(), i.Duration())
+	}
+
+	// Separate threads keep separate stacks: no cross-thread parentage.
+	other := sim.NewThread("other")
+	root := tr.Begin(other, KindPushdown, 0, 1)
+	if got := PairSpans(r.Events()); got[len(got)-1].Parent != 0 {
+		t.Fatalf("cross-thread span inherited a parent")
+	}
+	tr.End(other, root)
+}
+
+// CountByKind counts a span once (its begin); converting an instant into a
+// begin/end pair keeps the count stable.
+func TestCountByKindSkipsEnds(t *testing.T) {
+	r := New(16)
+	tr := NewTracer(r)
+	th := sim.NewThread("t")
+	r.Add(Event{At: th.Now(), Kind: KindCoherence, Who: "t"}) // instant
+	sp := tr.Begin(th, KindCoherence, 1, 0)
+	th.AdvanceNs(10)
+	tr.End(th, sp)
+	if got := r.CountByKind()[KindCoherence]; got != 2 {
+		t.Fatalf("coherence count = %d, want 2 (instant + one span)", got)
+	}
+}
+
+// Wraparound drops the oldest events; pairing must tolerate ends whose
+// begins were overwritten and begins whose ends never arrived.
+func TestPairSpansWraparound(t *testing.T) {
+	r := New(4) // tiny ring: only the last 4 events survive
+	tr := NewTracer(r)
+	th := sim.NewThread("t")
+
+	a := tr.Begin(th, KindPushdown, 0, 1)
+	th.AdvanceNs(10)
+	for i := 0; i < 3; i++ {
+		sp := tr.Begin(th, KindRPC, 0, int64(i))
+		th.AdvanceNs(5)
+		tr.End(th, sp)
+	}
+	tr.End(th, a)
+
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained = %d, want 4", len(events))
+	}
+	spans := PairSpans(events)
+	// The retained window is (end rpc#1, begin rpc#2, end rpc#2, end a):
+	// one complete span, one orphan end each for rpc#1 and the pushdown.
+	var complete, orphan int
+	for _, s := range spans {
+		if s.Complete {
+			complete++
+			if s.Kind != KindRPC {
+				t.Fatalf("complete span kind = %v", s.Kind)
+			}
+		} else {
+			orphan++
+			if s.Duration() != 0 {
+				t.Fatalf("orphan span has duration %v", s.Duration())
+			}
+		}
+	}
+	if complete != 1 || orphan != 2 {
+		t.Fatalf("complete=%d orphan=%d, want 1/2 (events: %v)", complete, orphan, events)
+	}
+
+	// CountByKind on the same window: the one retained begin per kind.
+	counts := r.CountByKind()
+	if counts[KindRPC] != 1 || counts[KindPushdown] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// The Chrome export must be valid JSON with complete spans as "X" events
+// carrying parentage, and thread-name metadata for Perfetto's track labels.
+func TestWriteChromeTrace(t *testing.T) {
+	r := New(64)
+	tr := NewTracer(r)
+	th := sim.NewThread("caller")
+	outer := tr.Begin(th, KindPushdown, 0, 1)
+	th.AdvanceNs(2000)
+	inner := tr.Begin(th, KindPushExec, 0, 1)
+	th.AdvanceNs(3000)
+	tr.End(th, inner)
+	tr.End(th, outer)
+	r.Add(Event{At: th.Now(), Kind: KindPoolCrash, Who: "caller"}) // instant
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var xs, is, meta int
+	var sawChild bool
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xs++
+			if ev.Name == "push-exec" {
+				if ev.Dur != 3 { // 3000 ns = 3 µs
+					t.Fatalf("push-exec dur = %v µs, want 3", ev.Dur)
+				}
+				if _, ok := ev.Args["parent"]; !ok {
+					t.Fatalf("nested span missing parent arg: %+v", ev)
+				}
+				sawChild = true
+			}
+		case "i":
+			is++
+		case "M":
+			meta++
+		}
+	}
+	if xs != 2 || is != 1 || meta != 1 || !sawChild {
+		t.Fatalf("X=%d i=%d M=%d child=%v, want 2/1/1/true", xs, is, meta, sawChild)
+	}
+}

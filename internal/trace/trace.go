@@ -1,8 +1,12 @@
-// Package trace is the simulator's observability layer: a bounded,
-// allocation-light event ring that the paging, coherence, and pushdown
-// paths publish into. It answers "what actually happened" questions —
-// which pages ping-ponged, when a pushdown queued, what got evicted —
-// without perturbing the virtual clock (tracing costs no simulated time).
+// Package trace is the simulator's qualitative observability layer: a
+// bounded, allocation-light event ring that the paging, coherence, and
+// pushdown paths publish into, plus a span layer (Tracer) that records
+// begin/end intervals with parentage — a page fault nesting its recursive
+// storage fault nesting its SSD read, a pushdown nesting its queue, setup,
+// and execution phases. It answers "what actually happened and where the
+// virtual time went" questions without perturbing the virtual clock
+// (tracing costs no simulated time), and exports to Chrome trace-event
+// JSON for Perfetto (WriteChromeTrace).
 package trace
 
 import (
@@ -30,6 +34,17 @@ const (
 	KindPoolCrash     // heartbeat observed the memory controller down
 	KindPoolRecover   // heartbeat observed the memory controller back up
 	KindFallbackLocal // recovery policy ran a pushdown in the compute pool
+
+	// Span kinds recorded by the Tracer (begin/end pairs).
+	KindRPC           // one fabric Send/RoundTrip (Arg: traffic class)
+	KindSSDRead       // one device page-in
+	KindSSDWrite      // one device page-out
+	KindPushdown      // one whole pushdown call (Arg: call id)
+	KindPushQueue     // workqueue wait inside a pushdown
+	KindPushSetup     // temporary-context setup inside a pushdown
+	KindPushExec      // pushed-function execution inside a pushdown
+	KindPushSync      // pre (Arg 0) / post (Arg 1) pushdown synchronisation
+	KindPushRetryWait // recovery-policy backoff between pushdown attempts
 	numKinds
 )
 
@@ -38,6 +53,8 @@ var kindNames = [numKinds]string{
 	"pushdown-start", "pushdown-end", "eviction", "sync",
 	"fault-injected", "rpc-retry", "pool-crash", "pool-recover",
 	"fallback-local",
+	"rpc", "ssd-read", "ssd-write", "pushdown", "push-queue",
+	"push-setup", "push-exec", "push-sync", "push-retry-wait",
 }
 
 // String names the kind.
@@ -48,18 +65,43 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
-// Event is one trace record.
+// Phase distinguishes instantaneous events from span endpoints.
+type Phase uint8
+
+// Phases.
+const (
+	PhaseInstant Phase = iota // a point event (the pre-span trace model)
+	PhaseBegin                // a span opened (Span/Parent are set)
+	PhaseEnd                  // a span closed (Span is set)
+)
+
+// String renders the phase marker used by Dump.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBegin:
+		return "B"
+	case PhaseEnd:
+		return "E"
+	default:
+		return "."
+	}
+}
+
+// Event is one trace record: an instant, or one endpoint of a span.
 type Event struct {
-	At   sim.Time
-	Kind Kind
-	Page uint64 // page id where applicable
-	Arg  int64  // kind-specific detail (bytes, write flag, call id, ...)
-	Who  string // thread name
+	At     sim.Time
+	Kind   Kind
+	Phase  Phase
+	Span   uint64 // span id (begin/end events; 0 for instants)
+	Parent uint64 // enclosing span id at begin time (0 = root)
+	Page   uint64 // page id where applicable
+	Arg    int64  // kind-specific detail (bytes, write flag, call id, ...)
+	Who    string // thread name
 }
 
 // String renders the event.
 func (e Event) String() string {
-	return fmt.Sprintf("%12v %-14s page=%-8d arg=%-6d %s", e.At, e.Kind, e.Page, e.Arg, e.Who)
+	return fmt.Sprintf("%12v %s %-14s page=%-8d arg=%-6d %s", e.At, e.Phase, e.Kind, e.Page, e.Arg, e.Who)
 }
 
 // Ring is a fixed-capacity event buffer. The zero value is disabled; attach
@@ -114,10 +156,15 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
-// CountByKind tallies retained events.
+// CountByKind tallies retained events. A span counts once (its begin
+// endpoint); end endpoints are skipped so converting an instant event into a
+// begin/end span pair does not change its count.
 func (r *Ring) CountByKind() map[Kind]int {
 	m := make(map[Kind]int)
 	for _, e := range r.Events() {
+		if e.Phase == PhaseEnd {
+			continue
+		}
 		m[e.Kind]++
 	}
 	return m
