@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race lint fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# gofmt + vet + the repo's own determinism analyzers (cmd/ddclint) +
+# the analyzers' fixture suites.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/ddclint ./...
+	$(GO) test ./internal/analysis/...
+
+# Short fuzz pass over the §6 resident-page-list codec; CI runs this on
+# every push, longer runs are manual (go test -fuzz=Fuzz ./internal/netmodel).
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzResidentRoundTrip -fuzztime=10s ./internal/netmodel
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalResident -fuzztime=10s ./internal/netmodel

@@ -62,6 +62,6 @@ func main() {
 	fmt.Printf("pushdown execution:     %v  (%.1fx speedup)\n",
 		stats.Total(), float64(baseTime)/float64(stats.Total()))
 	fmt.Printf("pushdown breakdown:     %v\n", stats)
-	fmt.Printf("resident pages shipped: %d (as %d RLE runs, %d-byte request)\n",
+	fmt.Printf("resident pages shipped: %d (%d runs, %d-byte request)\n",
 		stats.ResidentPages, stats.RLERuns, stats.RequestBytes)
 }

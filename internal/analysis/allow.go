@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The escape hatch: a comment of the form
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// on the flagged line (or the line directly above it) suppresses that
+// analyzer's diagnostics for the line. The reason is mandatory — an allow
+// without one is itself a diagnostic — and an allow that suppresses
+// nothing is flagged as stale, so escapes cannot rot silently.
+
+const allowPrefix = "lint:allow"
+
+// Allow is one parsed //lint:allow comment.
+type Allow struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	used     bool
+}
+
+// hygiene is the pseudo-analyzer that owns allow-comment diagnostics.
+var hygiene = &Analyzer{
+	Name: "lintallow",
+	Doc:  "checks //lint:allow comment hygiene (reason present, not stale)",
+}
+
+// CollectAllows parses every //lint:allow comment in files.
+func CollectAllows(fset *token.FileSet, files []*ast.File) []*Allow {
+	var out []*Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				out = append(out, &Allow{
+					Pos:      c.Pos(),
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// FilterAllowed drops diagnostics suppressed by an allow comment for the
+// same analyzer on the diagnostic's line or the line above, then appends
+// hygiene diagnostics: allows with no reason, and allows that suppressed
+// nothing. checked maps analyzer name → true for every analyzer that
+// actually ran on the package; a stale allow for an analyzer that did not
+// run is not reported (it may be load-bearing under a different
+// configuration).
+func FilterAllowed(fset *token.FileSet, diags []Diagnostic, allows []*Allow, checked map[string]bool) []Diagnostic {
+	byKey := make(map[[2]interface{}]*Allow)
+	for _, a := range allows {
+		byKey[[2]interface{}{a.File + ":" + a.Analyzer, a.Line}] = a
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := pos.Filename + ":" + d.Analyzer.Name
+		if a, ok := byKey[[2]interface{}{key, pos.Line}]; ok {
+			a.used = true
+			continue
+		}
+		if a, ok := byKey[[2]interface{}{key, pos.Line - 1}]; ok {
+			a.used = true
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, a := range allows {
+		if a.Reason == "" {
+			out = append(out, Diagnostic{
+				Analyzer: hygiene, Pos: a.Pos,
+				Message: "//lint:allow " + a.Analyzer + " needs a reason string",
+			})
+		}
+		if !a.used && a.Reason != "" && checked[a.Analyzer] {
+			out = append(out, Diagnostic{
+				Analyzer: hygiene, Pos: a.Pos,
+				Message: "stale //lint:allow " + a.Analyzer + ": nothing to suppress here",
+			})
+		}
+	}
+	SortDiagnostics(fset, out)
+	return out
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer —
+// the multichecker's deterministic output order.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer.Name < diags[j].Analyzer.Name
+	})
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func a() {
+	x := 1 //lint:allow demo suppressed on the same line
+	_ = x
+}
+
+func b() {
+	//lint:allow demo suppressed from the line above
+	y := 2
+	_ = y
+}
+
+func c() {
+	z := 3 //lint:allow demo
+	_ = z
+}
+
+func d() {
+	//lint:allow demo this one suppresses nothing
+	_ = 4
+}
+
+func e() {
+	//lint:allow otherchecker not ours; must not suppress demo
+	w := 5
+	_ = w
+}
+`
+
+// demoDiags reports a diagnostic at every line containing marker.
+func demoDiags(t *testing.T, fset *token.FileSet, f *ast.File, a *Analyzer, marker string) []Diagnostic {
+	t.Helper()
+	var out []Diagnostic
+	for lineno, line := range strings.Split(allowSrc, "\n") {
+		if strings.Contains(line, marker) {
+			file := fset.File(f.Pos())
+			out = append(out, Diagnostic{
+				Analyzer: a,
+				Pos:      file.LineStart(lineno + 1),
+				Message:  "demo finding",
+			})
+		}
+	}
+	return out
+}
+
+func TestAllowFiltering(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_fixture.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demo := &Analyzer{Name: "demo"}
+
+	allows := CollectAllows(fset, []*ast.File{f})
+	if len(allows) != 5 {
+		t.Fatalf("CollectAllows = %d allows, want 5", len(allows))
+	}
+
+	// Diagnostics on every := line of the fixture (funcs a, b, c, e; func
+	// d deliberately has none, which is what makes its allow stale).
+	diags := demoDiags(t, fset, f, demo, ":=")
+	if len(diags) != 4 {
+		t.Fatalf("fixture yields %d raw diagnostics, want 4", len(diags))
+	}
+
+	got := FilterAllowed(fset, diags, allows, map[string]bool{"demo": true})
+
+	var kept, missingReason, stale int
+	for _, d := range got {
+		switch {
+		case d.Analyzer.Name == "demo":
+			kept++
+		case strings.Contains(d.Message, "needs a reason"):
+			missingReason++
+		case strings.Contains(d.Message, "stale"):
+			stale++
+		default:
+			t.Errorf("unexpected diagnostic: %s (%s)", d.Message, d.Analyzer.Name)
+		}
+	}
+	// Same-line and line-above allows suppress (funcs a, b); the
+	// reason-less allow in c still suppresses but is flagged; d's allow is
+	// stale; e's allow names another checker so the demo finding survives.
+	if kept != 1 {
+		t.Errorf("kept %d demo diagnostics, want 1 (only func e's)", kept)
+	}
+	if missingReason != 1 {
+		t.Errorf("missing-reason diagnostics = %d, want 1", missingReason)
+	}
+	// d's allow is stale for demo; e's allow targets a checker that did
+	// not run, so it must NOT be reported stale.
+	if stale != 1 {
+		t.Errorf("stale-allow diagnostics = %d, want 1", stale)
+	}
+}

@@ -1,0 +1,54 @@
+package load
+
+import (
+	"go/types"
+	"os"
+	"testing"
+)
+
+func TestModuleLoadsTypedPackages(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(root)
+	pkgs, err := s.Module("./internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Module returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "teleport/internal/sim" {
+		t.Fatalf("path = %q", p.Path)
+	}
+	if p.Info == nil || len(p.Files) == 0 {
+		t.Fatal("module package missing syntax or type info")
+	}
+	obj := p.Types.Scope().Lookup("Time")
+	if obj == nil {
+		t.Fatal("sim.Time not found in type-checked package")
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		t.Fatalf("sim.Time is %T, want named type", obj.Type())
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Int64 {
+		t.Fatalf("sim.Time underlying = %v, want int64", named.Underlying())
+	}
+
+	// Dependencies are cached: a second load must reuse the session state.
+	again, err := s.Module("./internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Types != p.Types {
+		t.Error("second Module call did not reuse the cached package")
+	}
+}

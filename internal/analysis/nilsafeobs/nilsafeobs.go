@@ -1,0 +1,117 @@
+// Package nilsafeobs pins the observability layer's "passive by
+// construction" contract: every exported method on a pointer receiver in
+// internal/metrics and internal/trace must begin with a nil-receiver
+// guard.
+//
+// Instrumentation sites throughout the simulator call metric and trace
+// handles without guards — a machine with no registry or ring attached
+// hands them nil — so a single unguarded method turns "observability
+// off" into a panic. The guard must be the method's first statement so
+// the property is locally checkable: an if statement whose condition
+// tests the receiver against nil (== or !=, possibly alongside other
+// early-out tests).
+package nilsafeobs
+
+import (
+	"go/ast"
+	"strings"
+
+	"teleport/internal/analysis"
+)
+
+// Analyzer is the nilsafeobs check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilsafeobs",
+	Doc:  "requires exported pointer-receiver methods in observability packages to begin with a nil-receiver guard",
+	DefaultFilter: func(pkgPath string) bool {
+		return strings.HasSuffix(pkgPath, "/metrics") || strings.HasSuffix(pkgPath, "/trace")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkMethod(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkMethod(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || fn.Body == nil {
+		return
+	}
+	if !ast.IsExported(fn.Name.Name) {
+		return
+	}
+	if _, isPtr := fn.Recv.List[0].Type.(*ast.StarExpr); !isPtr {
+		return // value receivers cannot be nil
+	}
+	names := fn.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		pass.Reportf(fn.Pos(),
+			"exported method %s has an unnamed pointer receiver and cannot be nil-guarded; name the receiver and guard it",
+			fn.Name.Name)
+		return
+	}
+	recv := names[0].Name
+	if len(fn.Body.List) > 0 && guards(fn.Body.List[0], recv) {
+		return
+	}
+	pass.Reportf(fn.Pos(),
+		"exported method (*%s).%s must begin with a nil-receiver guard: observability handles are passive and may be nil",
+		receiverTypeName(fn), fn.Name.Name)
+}
+
+// guards reports whether stmt is an if statement whose condition compares
+// the receiver against nil.
+func guards(stmt ast.Stmt, recv string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if be.Op.String() != "==" && be.Op.String() != "!=" {
+			return true
+		}
+		if isIdent(be.X, recv) && isIdent(be.Y, "nil") {
+			found = true
+		}
+		if isIdent(be.Y, recv) && isIdent(be.X, "nil") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func receiverTypeName(fn *ast.FuncDecl) string {
+	star, ok := fn.Recv.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return "?"
+	}
+	switch t := star.X.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return "?"
+}

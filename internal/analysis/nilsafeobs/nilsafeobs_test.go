@@ -1,0 +1,24 @@
+package nilsafeobs_test
+
+import (
+	"testing"
+
+	"teleport/internal/analysis/analysistest"
+	"teleport/internal/analysis/nilsafeobs"
+)
+
+func TestNilsafeobs(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nilsafeobs.Analyzer, "nilsafeobs")
+}
+
+func TestFilterScopesToObservability(t *testing.T) {
+	f := nilsafeobs.Analyzer.DefaultFilter
+	for _, in := range []string{"teleport/internal/metrics", "teleport/internal/trace"} {
+		if !f(in) {
+			t.Errorf("filter should include %s", in)
+		}
+	}
+	if f("teleport/internal/core") {
+		t.Error("filter should exclude non-observability packages")
+	}
+}

@@ -1,0 +1,22 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"teleport/internal/analysis/analysistest"
+	"teleport/internal/analysis/seededrand"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), seededrand.Analyzer, "seededrand")
+}
+
+func TestFilterScopesToInternal(t *testing.T) {
+	f := seededrand.Analyzer.DefaultFilter
+	if !f("teleport/internal/graph") {
+		t.Error("filter should include internal packages")
+	}
+	if f("teleport/cmd/datagen") {
+		t.Error("filter should exclude cmd packages")
+	}
+}

@@ -1,0 +1,11 @@
+package maporder
+
+import "fmt"
+
+// debugDump is intentionally order-free output.
+func debugDump(m map[string]int) {
+	//lint:allow maporder debug helper; callers never diff the output
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,60 @@
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"trace"
+)
+
+// The sanctioned pattern: collect, sort, then range the slice.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printSorted(m map[string]int) {
+	for _, k := range sortedKeys(m) {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}
+
+// Commutative folds and map-to-map rewrites are order-insensitive.
+func sum(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// A loop-local accumulator's order dies with the loop.
+func localOnly(m map[string]int) int {
+	n := 0
+	for k := range m {
+		var parts []string
+		parts = append(parts, k)
+		n += len(parts)
+	}
+	return n
+}
+
+// Getters on observability types are order-insensitive.
+func getterLoop(m map[string]*trace.Ring) int {
+	n := 0
+	for _, r := range m {
+		n += r.Len()
+	}
+	return n
+}

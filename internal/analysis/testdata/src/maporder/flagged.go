@@ -1,0 +1,38 @@
+package maporder
+
+import (
+	"fmt"
+	"trace"
+)
+
+func printLoop(m map[string]int) {
+	for k, v := range m { // want `calls fmt\.Printf per key`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func traceLoop(m map[string]int) {
+	for k := range m { // want `calls trace\.Emit per key`
+		trace.Emit(k)
+	}
+}
+
+func traceMethodLoop(m map[string]int, r *trace.Ring) {
+	for k := range m { // want `\(trace\) Add per key`
+		r.Add(k)
+	}
+}
+
+func appendLoop(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to "keys", which outlives the loop unsorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sendLoop(m map[string]int, ch chan string) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}

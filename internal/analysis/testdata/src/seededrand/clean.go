@@ -1,0 +1,14 @@
+package seededrand
+
+import "math/rand"
+
+// Explicitly seeded generators are the sanctioned path: the stream is a
+// pure function of the seed.
+func clean(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.3, 1, 100)
+	return r.Intn(10) + int(z.Uint64())
+}
+
+// Type references do not draw randomness.
+func cleanSig(r *rand.Rand) rand.Source { return rand.NewSource(1) }

@@ -1,0 +1,9 @@
+// Package sim is a stand-in for the simulator's virtual clock in
+// virtualclock fixtures.
+package sim
+
+// Time is a virtual duration in nanoseconds.
+type Time int64
+
+// Microsecond is 1000 virtual nanoseconds.
+const Microsecond Time = 1000

@@ -1,0 +1,18 @@
+// Package trace is a stand-in for the simulator's trace layer in
+// maporder fixtures: Emit and Ring.Add record in call order, Len is a
+// getter.
+package trace
+
+var sink string
+
+// Emit records one event.
+func Emit(s string) { sink = s }
+
+// Ring mimics a recording handle.
+type Ring struct{ n int }
+
+// Add records one event.
+func (r *Ring) Add(s string) { sink, r.n = s, r.n+1 }
+
+// Len returns the event count (a getter: order-insensitive).
+func (r *Ring) Len() int { return r.n }

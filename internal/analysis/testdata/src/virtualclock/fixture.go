@@ -1,0 +1,36 @@
+package virtualclock
+
+import "sim"
+
+func bad(a, b sim.Time) int64 {
+	return int64(a) - int64(b) // want `both operands strip a virtual-clock type`
+}
+
+func badConst(t sim.Time) int64 {
+	return int64(t) + 1200 // want `raw numeric constant hides the time unit`
+}
+
+func badConstLeft(t sim.Time) int64 {
+	return 2 * int64(t) // want `raw numeric constant hides the time unit`
+}
+
+// Convert after the arithmetic: the subtraction happens in sim.Time.
+func clean(a, b sim.Time) int64 {
+	return int64(a - b)
+}
+
+// Scaling with a typed constant keeps the unit visible.
+func cleanScale(t sim.Time) sim.Time {
+	return t + 3*sim.Microsecond
+}
+
+// Arithmetic on plain integers that never were clock values is fine.
+func cleanBytes(n int64) int64 {
+	return n*13 + 4
+}
+
+// Storing a converted value without arithmetic is the sanctioned
+// accumulator pattern (metrics counters hold raw int64).
+func cleanStore(t sim.Time, acc *int64) {
+	*acc += int64(t)
+}

@@ -1,0 +1,12 @@
+package walltime
+
+import "time"
+
+// wallElapsed times the host-side CLI run; it is genuinely wall-clock and
+// opts out per line.
+func wallElapsed(f func()) time.Duration {
+	start := time.Now() //lint:allow walltime CLI wall-clock timing, not simulated time
+	f()
+	//lint:allow walltime CLI wall-clock timing, not simulated time
+	return time.Since(start)
+}

@@ -1,0 +1,10 @@
+package walltime
+
+import "time"
+
+// Pure time-value arithmetic never reads the wall clock and stays legal.
+func clean(d time.Duration) time.Duration {
+	epoch := time.Unix(0, 0)
+	later := epoch.Add(d)
+	return later.Sub(epoch) * 2
+}

@@ -1,0 +1,18 @@
+package walltime
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()            // want `wall-clock time\.Now breaks same-seed reproducibility`
+	time.Sleep(time.Millisecond)   // want `wall-clock time\.Sleep`
+	<-time.After(time.Second)      // want `wall-clock time\.After`
+	tick := time.Tick(time.Second) // want `wall-clock time\.Tick`
+	<-tick
+	tm := time.NewTimer(time.Second) // want `wall-clock time\.NewTimer`
+	tm.Stop()
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+func badValue() func() time.Time {
+	return time.Now // want `wall-clock time\.Now`
+}

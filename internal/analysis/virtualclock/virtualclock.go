@@ -1,0 +1,122 @@
+// Package virtualclock flags time arithmetic that leaves the clock's
+// type system.
+//
+// Virtual durations are carried by named int64 types (sim.Time); the
+// type is what lets the compiler distinguish "a point in virtual time"
+// from "a byte count" and what makes cost-model code auditable. Stripping
+// the type with int64(t) and doing raw arithmetic — int64(a) - int64(b),
+// int64(t) + 1200 — reintroduces the unit confusion behind classic
+// double-charging bugs (a fabric cost added once in the clock domain and
+// once as raw nanos). Convert after the arithmetic, not before:
+// int64(a-b), t + 1200*sim.Nanosecond.
+package virtualclock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+
+	"teleport/internal/analysis"
+)
+
+// Analyzer is the virtualclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "virtualclock",
+	Doc:  "flags arithmetic on int64-stripped virtual-clock values; arithmetic belongs in the clock type (sim.Time)",
+	Run:  run,
+}
+
+var arithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true,
+	token.QUO: true, token.REM: true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !arithOps[be.Op] {
+			return true
+		}
+		xc, x := strippedClock(pass, be.X)
+		yc, y := strippedClock(pass, be.Y)
+		switch {
+		case xc && yc:
+			pass.Reportf(be.Pos(),
+				"both operands strip a virtual-clock type (%s, %s) to int64 before %s; do the arithmetic in the clock type and convert the result",
+				x, y, be.Op)
+		case xc && isConstant(pass, be.Y):
+			pass.Reportf(be.Pos(),
+				"mixing int64-stripped %s with a raw numeric constant hides the time unit; use a typed constant (e.g. sim.Microsecond) and convert after the arithmetic",
+				x)
+		case yc && isConstant(pass, be.X):
+			pass.Reportf(be.Pos(),
+				"mixing int64-stripped %s with a raw numeric constant hides the time unit; use a typed constant (e.g. sim.Microsecond) and convert after the arithmetic",
+				y)
+		}
+		return true
+	})
+	return nil
+}
+
+// strippedClock reports whether e is a conversion int64(x) where x has a
+// virtual-clock type, returning the clock type's name for the message.
+func strippedClock(pass *analysis.Pass, e ast.Expr) (bool, string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false, ""
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false, ""
+	}
+	basic, ok := tv.Type.(*types.Basic)
+	if !ok || basic.Kind() != types.Int64 {
+		return false, ""
+	}
+	argType := pass.Info.Types[call.Args[0]].Type
+	if argType == nil {
+		return false, ""
+	}
+	if named, ok := isClockType(argType); ok {
+		return true, named
+	}
+	return false, ""
+}
+
+// isClockType reports whether t is a named integer type declared in a
+// virtual-clock package (package basename sim or hw).
+func isClockType(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	base := path.Base(obj.Pkg().Path())
+	if base != "sim" && base != "hw" {
+		return "", false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return "", false
+	}
+	return base + "." + obj.Name(), true
+}
+
+// isConstant reports whether the expression is a compile-time numeric
+// constant (an untyped literal or a named constant of raw integer type).
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	// A constant that already carries a clock type (sim.Microsecond) is
+	// unit-safe; only raw numerics hide the unit.
+	if _, clock := isClockType(tv.Type); clock {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package virtualclock_test
+
+import (
+	"testing"
+
+	"teleport/internal/analysis/analysistest"
+	"teleport/internal/analysis/virtualclock"
+)
+
+func TestVirtualclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), virtualclock.Analyzer, "virtualclock")
+}

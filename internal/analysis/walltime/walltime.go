@@ -1,0 +1,58 @@
+// Package walltime forbids wall-clock time in simulator packages.
+//
+// Every result this repository reports is measured in virtual nanoseconds
+// (internal/sim); a single time.Now or time.Sleep couples a run to the
+// host scheduler and silently breaks bit-for-bit reproducibility. The
+// virtual-clock packages themselves (internal/sim, internal/hw) are
+// exempt, and genuinely wall-clock code (for example CLI timing in cmd/)
+// can opt out per line with //lint:allow walltime <reason>.
+package walltime
+
+import (
+	"go/ast"
+
+	"teleport/internal/analysis"
+)
+
+// banned are the time-package entry points that read or wait on the wall
+// clock. Pure-value helpers (time.Duration, time.Unix arithmetic on
+// explicit inputs) stay legal.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer is the walltime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbids wall-clock time (time.Now, time.Sleep, ...) in simulator packages; all timing must use the virtual clock",
+	DefaultFilter: func(pkgPath string) bool {
+		return pkgPath != "teleport/internal/sim" && pkgPath != "teleport/internal/hw"
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, ok := pass.PkgPathOf(sel)
+		if !ok || path != "time" || !banned[sel.Sel.Name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"wall-clock time.%s breaks same-seed reproducibility; use the virtual clock (sim.Time) or annotate //lint:allow walltime <reason>",
+			sel.Sel.Name)
+		return true
+	})
+	return nil
+}

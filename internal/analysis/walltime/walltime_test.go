@@ -1,0 +1,26 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"teleport/internal/analysis/analysistest"
+	"teleport/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), walltime.Analyzer, "walltime")
+}
+
+func TestFilterExemptsVirtualClockPackages(t *testing.T) {
+	f := walltime.Analyzer.DefaultFilter
+	for _, exempt := range []string{"teleport/internal/sim", "teleport/internal/hw"} {
+		if f(exempt) {
+			t.Errorf("filter should exempt %s", exempt)
+		}
+	}
+	for _, checked := range []string{"teleport/internal/core", "teleport/cmd/ddcsim", "teleport"} {
+		if !f(checked) {
+			t.Errorf("filter should include %s", checked)
+		}
+	}
+}

@@ -112,7 +112,7 @@ type Stats struct {
 
 	ResidentPages      int   // compute-resident pages at call time
 	RLERuns            int   // runs after §6's run-length encoding
-	RequestBytes       int   // request message size
+	RequestBytes       int   // request message size (RLE or bitmap list, whichever is smaller)
 	SetupInvalidations int   // Figure 8 invalidations applied at setup
 	ComputeFaults      int64 // compute-pool faults served during pushdown
 	MemoryFaults       int64 // temporary-context faults served

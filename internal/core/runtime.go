@@ -335,8 +335,9 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	}
 	st.RLERuns = len(runs)
 	// The request is a real wire message: fn/arg pointers, flags, any
-	// inline argument bytes, and the RLE page list, which §6's compression
-	// keeps within a single RDMA buffer.
+	// inline argument bytes, and the compressed page list (RLE or dense
+	// bitmap, whichever is smaller), which §6's compression keeps within
+	// a single RDMA buffer.
 	req := netmodel.PushdownRequest{
 		Fn:       0x400000, // a code address in the shared space
 		Arg:      0x7FFF0000,

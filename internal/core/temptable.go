@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"teleport/internal/mem"
 	"teleport/internal/sim"
 )
@@ -71,9 +73,11 @@ func (tt *tempTable) invalidate(p mem.PageID, computeWritable bool) {
 	}
 }
 
-// dirtyPages returns the pages the temporary context dirtied, for the
-// dirty-bit merge at completion (§4.1: "the dirty bits of the temporary
-// context's page table should be merged back into the full page table").
+// dirtyPages returns the pages the temporary context dirtied, sorted, for
+// the dirty-bit merge at completion (§4.1: "the dirty bits of the
+// temporary context's page table should be merged back into the full page
+// table"). Sorting pins the merge order: overrides is a map, and the
+// merge must not depend on Go's randomized iteration.
 func (tt *tempTable) dirtyPages() []mem.PageID {
 	var out []mem.PageID
 	for p, e := range tt.overrides {
@@ -81,6 +85,7 @@ func (tt *tempTable) dirtyPages() []mem.PageID {
 			out = append(out, p)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -29,7 +29,12 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Value returns the current count (0 on nil).
 func (c *Counter) Value() int64 {
@@ -167,6 +172,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns the named histogram, creating it with the default
 // latency buckets on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
 	return r.HistogramWithBuckets(name, nil)
 }
 
@@ -265,5 +273,8 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 
 // WriteJSON snapshots the registry and writes it as indented JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return (*Snapshot)(nil).WriteJSON(w)
+	}
 	return r.Snapshot().WriteJSON(w)
 }

@@ -8,9 +8,11 @@ import (
 
 // This file defines the concrete wire format of the pushdown RPC (§3.2 ❷):
 // the function pointer, the argument pointer, the flags word, the inline
-// argument bytes, and the RLE-compressed resident-page list, all packed into
-// one message. §6's observation — that RLE makes the whole request fit a
-// single RDMA message — is checked against MaxRDMAMessage below.
+// argument bytes, and the compressed resident-page list (RLE or, when
+// permissions fragment badly, a dense bitmap — see resident.go), all packed
+// into one message. §6's observation — that compressing the list makes the
+// whole request fit a single RDMA message — is checked against
+// MaxRDMAMessage below.
 
 // MaxRDMAMessage is the registered RPC buffer size (the LITE-style
 // framework pre-allocates fixed buffers; one message must fit).
@@ -36,13 +38,13 @@ func (r *PushdownRequest) Marshal() ([]byte, error) {
 	if len(r.ArgInline) > MaxRDMAMessage/2 {
 		return nil, fmt.Errorf("netmodel: inline argument too large (%d bytes)", len(r.ArgInline))
 	}
-	buf := make([]byte, pushReqFixedBytes, pushReqFixedBytes+len(r.ArgInline)+RunsWireSize(r.Resident))
+	buf := make([]byte, pushReqFixedBytes, pushReqFixedBytes+len(r.ArgInline)+ResidentWireSize(r.Resident))
 	binary.LittleEndian.PutUint64(buf[0:], r.Fn)
 	binary.LittleEndian.PutUint64(buf[8:], r.Arg)
 	binary.LittleEndian.PutUint32(buf[16:], r.Flags)
 	binary.LittleEndian.PutUint32(buf[20:], uint32(len(r.ArgInline)))
 	buf = append(buf, r.ArgInline...)
-	buf = append(buf, MarshalRuns(r.Resident)...)
+	buf = append(buf, MarshalResident(r.Resident)...)
 	if len(buf) > MaxRDMAMessage {
 		return nil, fmt.Errorf("netmodel: pushdown request %d bytes exceeds the %d-byte RDMA buffer",
 			len(buf), MaxRDMAMessage)
@@ -68,7 +70,7 @@ func UnmarshalPushdownRequest(buf []byte) (*PushdownRequest, error) {
 	if inlineLen > 0 {
 		r.ArgInline = append([]byte(nil), rest[:inlineLen]...)
 	}
-	runs, err := UnmarshalRuns(rest[inlineLen:])
+	runs, err := UnmarshalResident(rest[inlineLen:])
 	if err != nil {
 		return nil, err
 	}

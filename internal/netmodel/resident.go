@@ -1,0 +1,151 @@
+package netmodel
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// This file adds the second resident-page-list wire encoding §6 weighs
+// RLE against: a dense permission bitmap over the list's page span. RLE
+// wins when residency clusters into few runs (the common case — §6
+// reports ~20× vs the raw list); the bitmap wins when permissions
+// alternate page by page and every page becomes its own 13-byte run. The
+// request carries whichever is smaller, so the resident list is never
+// longer than its bitmap encoding, and existing RLE-encoded bytes remain
+// valid: the format discriminator is the top bit of the leading word,
+// which a run count never sets.
+
+// bitmapFlag marks the leading uint32 of a bitmap-encoded list. Run
+// counts are bounded by the RDMA buffer (a few thousand), so the bit is
+// unambiguous.
+const bitmapFlag = 1 << 31
+
+// bitmapFixedBytes is the bitmap header: flagged span word + start page.
+const bitmapFixedBytes = 4 + 8
+
+// pagesPerByte is the bitmap density: two bits per page in the span —
+// bit 0 resident, bit 1 writable.
+const pagesPerByte = 4
+
+// bitmapSpan returns the number of page slots a bitmap over runs must
+// cover, and whether a bitmap encoding is representable: a non-empty,
+// strictly ascending, non-overlapping list (wire input may be neither)
+// whose span fits the flagged word.
+func bitmapSpan(runs []PageRun) (uint64, bool) {
+	if len(runs) == 0 {
+		return 0, false
+	}
+	end := runs[0].Start // exclusive end of the previous run
+	for _, r := range runs {
+		if r.Count == 0 || r.Start < end {
+			return 0, false
+		}
+		next := r.Start + uint64(r.Count)
+		if next < r.Start {
+			return 0, false // page-ID overflow
+		}
+		end = next
+	}
+	span := end - runs[0].Start
+	if span == 0 || span >= bitmapFlag {
+		return 0, false
+	}
+	return span, true
+}
+
+// BitmapWireSize returns the size of the bitmap encoding of runs, or -1
+// if the span is unrepresentable. Runs must be sorted, as EncodeRuns
+// produces them.
+func BitmapWireSize(runs []PageRun) int {
+	span, ok := bitmapSpan(runs)
+	if !ok {
+		return -1
+	}
+	return bitmapFixedBytes + int((span+pagesPerByte-1)/pagesPerByte)
+}
+
+// ResidentWireSize returns the marshalled size of the resident list: the
+// smaller of the RLE and bitmap encodings.
+func ResidentWireSize(runs []PageRun) int {
+	rle := RunsWireSize(runs)
+	if bmp := BitmapWireSize(runs); bmp >= 0 && bmp < rle {
+		return bmp
+	}
+	return rle
+}
+
+// MarshalResident serialises the resident list in whichever encoding is
+// smaller; ties keep RLE, so lists that compress well produce exactly the
+// bytes MarshalRuns always produced.
+func MarshalResident(runs []PageRun) []byte {
+	rle := RunsWireSize(runs)
+	bmp := BitmapWireSize(runs)
+	if bmp < 0 || bmp >= rle {
+		return MarshalRuns(runs)
+	}
+	span, _ := bitmapSpan(runs)
+	buf := make([]byte, bmp)
+	binary.LittleEndian.PutUint32(buf, bitmapFlag|uint32(span))
+	binary.LittleEndian.PutUint64(buf[4:], runs[0].Start)
+	for _, r := range runs {
+		for i := uint64(0); i < uint64(r.Count); i++ {
+			off := r.Start + i - runs[0].Start
+			bits := byte(1)
+			if r.Writable {
+				bits |= 2
+			}
+			buf[bitmapFixedBytes+off/pagesPerByte] |= bits << (2 * (off % pagesPerByte))
+		}
+	}
+	return buf
+}
+
+// UnmarshalResident parses either resident-list encoding back into
+// canonical (maximally merged, sorted) runs.
+func UnmarshalResident(buf []byte) ([]PageRun, error) {
+	if len(buf) < 4 {
+		return nil, errors.New("netmodel: short resident list")
+	}
+	head := binary.LittleEndian.Uint32(buf)
+	if head&bitmapFlag == 0 {
+		return UnmarshalRuns(buf)
+	}
+	span := uint64(head &^ uint32(bitmapFlag))
+	want := bitmapFixedBytes + int((span+pagesPerByte-1)/pagesPerByte)
+	if span == 0 || len(buf) != want {
+		return nil, errors.New("netmodel: resident bitmap length mismatch")
+	}
+	start := binary.LittleEndian.Uint64(buf[4:])
+	if start+span < start {
+		return nil, errors.New("netmodel: resident bitmap span overflow")
+	}
+	var runs []PageRun
+	for off := uint64(0); off < span; off++ {
+		bits := buf[bitmapFixedBytes+off/pagesPerByte] >> (2 * (off % pagesPerByte)) & 3
+		if bits&1 == 0 {
+			if bits != 0 {
+				return nil, errors.New("netmodel: writable bit on non-resident page")
+			}
+			continue
+		}
+		writable := bits&2 != 0
+		if n := len(runs); n > 0 {
+			last := &runs[n-1]
+			if last.Start+uint64(last.Count) == start+off && last.Writable == writable {
+				last.Count++
+				continue
+			}
+		}
+		runs = append(runs, PageRun{Start: start + off, Count: 1, Writable: writable})
+	}
+	if len(runs) == 0 {
+		return nil, errors.New("netmodel: resident bitmap has no resident pages")
+	}
+	// Reject padding noise in the final partial byte.
+	for off := span; off%pagesPerByte != 0; off++ {
+		if buf[bitmapFixedBytes+off/pagesPerByte]>>(2*(off%pagesPerByte))&3 != 0 {
+			return nil, errors.New("netmodel: resident bitmap padding bits set")
+		}
+	}
+	return runs, nil
+}

@@ -160,6 +160,9 @@ func (r *Ring) Events() []Event {
 // endpoint); end endpoints are skipped so converting an instant event into a
 // begin/end span pair does not change its count.
 func (r *Ring) CountByKind() map[Kind]int {
+	if r == nil {
+		return make(map[Kind]int)
+	}
 	m := make(map[Kind]int)
 	for _, e := range r.Events() {
 		if e.Phase == PhaseEnd {
@@ -172,6 +175,9 @@ func (r *Ring) CountByKind() map[Kind]int {
 
 // Dump writes the retained events to w, oldest first.
 func (r *Ring) Dump(w io.Writer) {
+	if r == nil {
+		return
+	}
 	for _, e := range r.Events() {
 		fmt.Fprintln(w, e)
 	}
