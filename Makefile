@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke
+.PHONY: build test race lint fuzz-smoke chaos-soak
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,15 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/ddclint ./...
 	$(GO) test ./internal/analysis/...
+
+# Chaos soak: every fault profile × 16 seeds on the chaos workloads,
+# checking answers stay bit-identical to fault-free and same-seed reruns
+# are bit-identical. Per-profile fault-report summaries land in
+# SOAK_ARTIFACTS (default ./soak-artifacts) for CI upload.
+SOAK_ARTIFACTS ?= soak-artifacts
+chaos-soak:
+	CHAOS_SOAK=1 CHAOS_SOAK_ARTIFACTS=$(SOAK_ARTIFACTS) \
+		$(GO) test ./internal/bench -run TestChaosSoak -v -timeout 30m
 
 # Short fuzz pass over the §6 resident-page-list codec; CI runs this on
 # every push, longer runs are manual (go test -fuzz=Fuzz ./internal/netmodel).

@@ -6,6 +6,7 @@
 //	maporder      no observable output driven by random map iteration
 //	nilsafeobs    observability methods are nil-safe by construction
 //	virtualclock  time arithmetic stays in the clock's type
+//	errcmp        no ==/!= on error values — wrapped sentinels need errors.Is
 //
 // Usage:
 //
@@ -23,6 +24,7 @@ import (
 	"path/filepath"
 
 	"teleport/internal/analysis"
+	"teleport/internal/analysis/errcmp"
 	"teleport/internal/analysis/load"
 	"teleport/internal/analysis/maporder"
 	"teleport/internal/analysis/nilsafeobs"
@@ -38,6 +40,7 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	nilsafeobs.Analyzer,
 	virtualclock.Analyzer,
+	errcmp.Analyzer,
 }
 
 func main() {

@@ -18,6 +18,7 @@ import (
 
 	"teleport/internal/bench"
 	"teleport/internal/fault"
+	"teleport/internal/sim"
 	"teleport/internal/trace"
 )
 
@@ -39,6 +40,10 @@ func main() {
 		advise     = flag.Bool("advise", false, "profile on the base DDC and print the advisor's pushdown decisions")
 		chaosProf  = flag.String("chaos-profile", "", "fault-injection profile: none, "+strings.Join(fault.ProfileNames(), ", "))
 		chaosSeed  = flag.Int64("chaos-seed", 0, "fault plan seed (0 = reuse -seed)")
+		queueCap   = flag.Int("push-queue-cap", 0, "memory-pool workqueue capacity; beyond it requests are shed (0 = unbounded)")
+		deadlineUs = flag.Float64("push-deadline-us", 0, "per-attempt pushdown deadline budget in virtual microseconds (0 = none)")
+		brThresh   = flag.Int("breaker-threshold", 0, "circuit-breaker consecutive-failure threshold (0 = default, negative = disabled)")
+		brCoolUs   = flag.Float64("breaker-cooldown-us", 0, "circuit-breaker open cooldown in virtual microseconds (0 = default)")
 	)
 	flag.Parse()
 
@@ -53,6 +58,10 @@ func main() {
 		Seed: *seed, CacheFrac: *cacheFrac, TraceCap: traceCap,
 		Metrics:      *metricsOut != "",
 		ChaosProfile: *chaosProf, ChaosSeed: *chaosSeed,
+		PushQueueCap:     *queueCap,
+		PushDeadline:     sim.FromNs(*deadlineUs * 1e3),
+		BreakerThreshold: *brThresh,
+		BreakerCooldown:  sim.FromNs(*brCoolUs * 1e3),
 	}
 	if *advise {
 		decisions, err := bench.Advise(*workload, opts)

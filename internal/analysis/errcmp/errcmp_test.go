@@ -1,0 +1,22 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"teleport/internal/analysis/analysistest"
+	"teleport/internal/analysis/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errcmp.Analyzer, "errcmp")
+}
+
+func TestFilterScopesToInternal(t *testing.T) {
+	f := errcmp.Analyzer.DefaultFilter
+	if !f("teleport/internal/core") {
+		t.Error("filter should include internal packages")
+	}
+	if f("teleport/cmd/ddcsim") {
+		t.Error("filter should exclude cmd packages")
+	}
+}

@@ -1,0 +1,29 @@
+package errcmp
+
+import "errors"
+
+type code int
+
+func probe() error { return nil }
+
+// Nil checks, errors.Is, and identity on concrete non-interface types are
+// all sanctioned.
+func clean(a, b code) bool {
+	err := probe()
+	if err == nil {
+		return true
+	}
+	if nil != err {
+		_ = err
+	}
+	if errors.Is(err, errSentinel) {
+		return true
+	}
+	return a == b
+}
+
+// The escape hatch still works for a deliberate identity comparison.
+func escaped() bool {
+	err := probe()
+	return err == errSentinel //lint:allow errcmp identity check on an unwrapped local sentinel
+}

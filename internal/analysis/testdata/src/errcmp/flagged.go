@@ -1,0 +1,18 @@
+package errcmp
+
+import "errors"
+
+var errSentinel = errors.New("sentinel")
+
+func work() error { return errSentinel }
+
+func bad() bool {
+	err := work()
+	if err == errSentinel { // want `error compared with ==; a wrapped sentinel never matches — use errors\.Is`
+		return true
+	}
+	if errSentinel != err { // want `error compared with !=; a wrapped sentinel never matches — use errors\.Is`
+		return false
+	}
+	return work() == work() // want `error compared with ==`
+}

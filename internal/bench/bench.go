@@ -52,6 +52,25 @@ type Options struct {
 	// with the same options and chaos seed inject the identical fault
 	// sequence and report bit-identical timings.
 	ChaosSeed int64
+
+	// PushQueueCap bounds the memory pool's pushdown workqueue: beyond it,
+	// admission control sheds requests with ErrQueueFull (recovered by the
+	// retry policy). 0 keeps the unbounded FIFO.
+	PushQueueCap int
+
+	// PushDeadline is the per-attempt virtual-time budget for every
+	// pushdown call; a call that cannot finish in budget aborts (rolling
+	// back any partial writes) instead of stalling. 0 means no budget.
+	PushDeadline sim.Time
+
+	// BreakerThreshold overrides the runtime circuit breaker's
+	// consecutive-failure threshold: 0 keeps the default, a negative value
+	// disables the breaker.
+	BreakerThreshold int
+
+	// BreakerCooldown overrides the breaker's open → half-open cooldown
+	// (0 keeps the default).
+	BreakerCooldown sim.Time
 }
 
 // Defaults returns the options used by the committed EXPERIMENTS.md run.

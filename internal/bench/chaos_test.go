@@ -147,7 +147,7 @@ func TestChaosAnswersMatchFaultFree(t *testing.T) {
 				t.Errorf("%s under %q: answer %#x, fault-free %#x", w.name, prof, got.Answer, baseline.Answer)
 			}
 			injectedBy[prof] += got.Plan.Drops + got.Plan.Spikes + got.Plan.CtxCrashes +
-				got.Plan.SSDReadErrors + got.Plan.PoolWindows
+				got.Plan.CtxMidCrashes + got.Plan.SSDReadErrors + got.Plan.PoolWindows
 		}
 	}
 	// Every profile must have actually injected faults somewhere, or the

@@ -67,9 +67,18 @@ type FaultReport struct {
 
 	// TELEPORT runtime recovery (teleport platforms only; zero elsewhere).
 	PoolDownObserved int64 // heartbeat observations that found the pool down
-	CtxCrashes       int64 // temporary-context crashes
+	CtxCrashes       int64 // temporary-context crashes (pre-commit + mid-execution)
 	PushRetries      int64 // pushdown re-attempts by the policy
 	LocalFallbacks   int64 // pushdowns degraded to compute-side execution
+
+	// Crash-consistency and overload recovery.
+	Shed                 int64 // requests rejected by admission control
+	DeadlineAborts       int64 // calls aborted over their deadline budget
+	Rollbacks            int64 // undo-journal rollbacks performed
+	RolledBackPages      int64 // pages restored across all rollbacks
+	BreakerOpens         int64 // circuit-breaker open transitions
+	BreakerCloses        int64 // circuit-breaker close transitions
+	BreakerShortCircuits int64 // calls short-circuited to local while open
 }
 
 // String renders the report as one summary block. A nil report (fault-free
@@ -80,10 +89,12 @@ func (f *FaultReport) String() string {
 		return "chaos: none"
 	}
 	return fmt.Sprintf(
-		"chaos profile=%s seed=%d\n  injected: %v\n  recovered: fabric retries=%d drops=%d, ssd re-reads=%d, pool stalls=%d\n  pushdown: pool-down obs=%d ctx crashes=%d retries=%d local fallbacks=%d",
+		"chaos profile=%s seed=%d\n  injected: %v\n  recovered: fabric retries=%d drops=%d, ssd re-reads=%d, pool stalls=%d\n  pushdown: pool-down obs=%d ctx crashes=%d retries=%d local fallbacks=%d\n  crash-consistency: rollbacks=%d (pages=%d) shed=%d deadline-aborts=%d breaker opens=%d closes=%d short-circuits=%d",
 		f.Profile, f.Seed, f.Injected,
 		f.FabricRetries, f.FabricDrops, f.SSDReadRetries, f.PoolStalls,
-		f.PoolDownObserved, f.CtxCrashes, f.PushRetries, f.LocalFallbacks)
+		f.PoolDownObserved, f.CtxCrashes, f.PushRetries, f.LocalFallbacks,
+		f.Rollbacks, f.RolledBackPages, f.Shed, f.DeadlineAborts,
+		f.BreakerOpens, f.BreakerCloses, f.BreakerShortCircuits)
 }
 
 // RunWorkload executes one named workload on one named platform.
@@ -166,6 +177,13 @@ func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResul
 			fr.CtxCrashes = rs.CtxCrashes
 			fr.PushRetries = rs.Retries
 			fr.LocalFallbacks = rs.LocalFallbacks
+			fr.Shed = rs.Shed
+			fr.DeadlineAborts = rs.DeadlineAborts
+			fr.Rollbacks = rs.Rollbacks
+			fr.RolledBackPages = rs.RolledBackPages
+			fr.BreakerOpens = rs.BreakerOpens
+			fr.BreakerCloses = rs.BreakerCloses
+			fr.BreakerShortCircuits = rs.BreakerShortCircuits
 		}
 		res.Fault = fr
 	}

@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"teleport/internal/core"
+	"teleport/internal/ddc"
+	"teleport/internal/fault"
+	"teleport/internal/mem"
+	"teleport/internal/sim"
+	"teleport/internal/trace"
+)
+
+// TestChaosSoak is the long-running chaos soak: every fault profile crossed
+// with many seeds on every chaos workload, checking the robustness
+// invariant at scale — answers bit-identical to the fault-free run, and
+// same-seed reruns bit-identical in every observable. It is opt-in
+// (CHAOS_SOAK=1, `make chaos-soak`) because it runs hundreds of
+// executions; when CHAOS_SOAK_ARTIFACTS names a directory, a per-profile
+// fault-report summary is written there for CI upload.
+func TestChaosSoak(t *testing.T) {
+	if os.Getenv("CHAOS_SOAK") == "" {
+		t.Skip("chaos soak is opt-in: set CHAOS_SOAK=1 (or run `make chaos-soak`)")
+	}
+	const seeds = 16
+	artifactDir := os.Getenv("CHAOS_SOAK_ARTIFACTS")
+	if artifactDir != "" {
+		if err := os.MkdirAll(artifactDir, 0o755); err != nil {
+			t.Fatalf("artifacts dir: %v", err)
+		}
+	}
+
+	type profAgg struct {
+		injected fault.Counters
+		rt       core.RuntimeStats
+		stalls   int64
+		retries  int64
+		lines    []string
+	}
+	agg := map[string]*profAgg{}
+
+	for _, w := range chaosWorkloads() {
+		baseline := runChaos(t, w, "none", 1)
+		for _, prof := range fault.ProfileNames() {
+			a := agg[prof]
+			if a == nil {
+				a = &profAgg{}
+				agg[prof] = a
+			}
+			for seed := int64(1); seed <= seeds; seed++ {
+				got := runChaos(t, w, prof, seed)
+				if got.Answer != baseline.Answer {
+					t.Errorf("%s under %q seed %d: answer %#x, fault-free %#x",
+						w.name, prof, seed, got.Answer, baseline.Answer)
+				}
+				rerun := runChaos(t, w, prof, seed)
+				if got != rerun {
+					t.Errorf("%s under %q seed %d: rerun differs:\n  a=%+v\n  b=%+v",
+						w.name, prof, seed, got, rerun)
+				}
+				a.injected = addCounters(a.injected, got.Plan)
+				a.rt = addRuntimeStats(a.rt, got.RT)
+				a.stalls += got.Stalls
+				a.retries += got.Fabric.Retries
+				a.lines = append(a.lines, fmt.Sprintf(
+					"%-8s seed=%-3d elapsed=%-14v injected={%v} rollbacks=%d shed=%d deadline-aborts=%d breaker-opens=%d fallbacks=%d",
+					w.name, seed, got.Elapsed, got.Plan, got.RT.Rollbacks, got.RT.Shed,
+					got.RT.DeadlineAborts, got.RT.BreakerOpens, got.RT.LocalFallbacks))
+			}
+		}
+	}
+
+	// The soak proves nothing about a path it never took: the profile set as
+	// a whole must exercise mid-execution rollback.
+	var totalMid int64
+	for _, a := range agg {
+		totalMid += a.injected.CtxMidCrashes
+	}
+	if totalMid == 0 {
+		t.Error("no profile armed a mid-execution crash across the whole soak")
+	}
+
+	if artifactDir != "" {
+		for prof, a := range agg {
+			fr := &FaultReport{
+				Profile: prof, Seed: -1, Injected: a.injected,
+				FabricRetries: a.retries, PoolStalls: a.stalls,
+				SSDReadRetries:       a.injected.SSDReadErrors,
+				PoolDownObserved:     a.rt.PoolDownObserved,
+				CtxCrashes:           a.rt.CtxCrashes,
+				PushRetries:          a.rt.Retries,
+				LocalFallbacks:       a.rt.LocalFallbacks,
+				Shed:                 a.rt.Shed,
+				DeadlineAborts:       a.rt.DeadlineAborts,
+				Rollbacks:            a.rt.Rollbacks,
+				RolledBackPages:      a.rt.RolledBackPages,
+				BreakerOpens:         a.rt.BreakerOpens,
+				BreakerCloses:        a.rt.BreakerCloses,
+				BreakerShortCircuits: a.rt.BreakerShortCircuits,
+			}
+			body := fmt.Sprintf("aggregate over %d runs\n%s\n\n%s\n",
+				len(a.lines), fr, strings.Join(a.lines, "\n"))
+			name := filepath.Join(artifactDir, "soak-"+prof+".txt")
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Errorf("artifact %s: %v", name, err)
+			}
+		}
+	}
+}
+
+func addCounters(a, b fault.Counters) fault.Counters {
+	a.Drops += b.Drops
+	a.Corruptions += b.Corruptions
+	a.Spikes += b.Spikes
+	a.CtxCrashes += b.CtxCrashes
+	a.CtxMidCrashes += b.CtxMidCrashes
+	a.SSDReadErrors += b.SSDReadErrors
+	a.PoolWindows += b.PoolWindows
+	return a
+}
+
+func addRuntimeStats(a, b core.RuntimeStats) core.RuntimeStats {
+	a.PoolDownObserved += b.PoolDownObserved
+	a.CtxCrashes += b.CtxCrashes
+	a.Retries += b.Retries
+	a.LocalFallbacks += b.LocalFallbacks
+	a.Shed += b.Shed
+	a.DeadlineAborts += b.DeadlineAborts
+	a.Rollbacks += b.Rollbacks
+	a.RolledBackPages += b.RolledBackPages
+	a.BreakerOpens += b.BreakerOpens
+	a.BreakerCloses += b.BreakerCloses
+	a.BreakerShortCircuits += b.BreakerShortCircuits
+	return a
+}
+
+// soakObserved is everything the path-coverage scenario can compare across
+// reruns.
+type soakObserved struct {
+	Elapsed   sim.Time
+	Stats     core.RuntimeStats
+	VecHash   uint64
+	Rollback  int
+	Shed      int
+	BrOpen    int
+	BrHalf    int
+	BrClose   int
+	QueueFull int
+}
+
+// soakScenario drives one runtime through every crash-consistency path in a
+// single deterministic schedule: a mid-execution crash pair that rolls back
+// and opens the breaker, a short-circuited call while open, a half-open
+// probe that closes it, and an admission-control shed under queue pressure.
+func soakScenario(t *testing.T) soakObserved {
+	t.Helper()
+	const pages = 520
+	m := ddc.MustMachine(ddc.BaseDDC(1 << 20))
+	ring := trace.New(1 << 16)
+	m.AttachTrace(ring)
+	p := m.NewProcess()
+	rt := core.NewRuntime(p, 1)
+	rt.QueueCap = 1
+	// The cooldown must outlast phase 1's own multi-millisecond execution,
+	// or the open breaker would already admit a probe at phase 2.
+	rt.Breaker = core.BreakerConfig{Threshold: 2, Cooldown: 50 * sim.Millisecond}
+
+	th := sim.NewThread("driver")
+	a := p.Space.AllocPages(pages*mem.PageSize, "vec")
+	env := p.NewEnv(th)
+	for i := 0; i < pages; i++ {
+		env.WriteI64(a+mem.Addr(i)*mem.PageSize, int64(i))
+	}
+	inc := func(env *ddc.Env) {
+		for i := 0; i < pages; i++ {
+			addr := a + mem.Addr(i)*mem.PageSize
+			env.WriteI64(addr, env.ReadI64(addr)+1)
+		}
+	}
+	pol := core.DefaultRetryThenLocal()
+
+	// Phase 1 — rollback: every pushdown attempt crashes mid-execution, so
+	// the policy rolls back twice and falls back locally; two consecutive
+	// failures open the breaker.
+	m.AttachFault(fault.NewPlan(fault.Profile{Name: "mid", CtxCrashMidProb: 1}, 3))
+	if _, ran, err := rt.PushdownWithPolicy(th, inc, core.Options{}, pol); err != nil || ran {
+		t.Fatalf("phase 1: ran=%v err=%v, want rollback + local fallback", ran, err)
+	}
+
+	// Phase 2 — open breaker short-circuits straight to local execution.
+	if _, ran, err := rt.PushdownWithPolicy(th, inc, core.Options{}, pol); err != nil || ran {
+		t.Fatalf("phase 2: ran=%v err=%v, want short-circuit", ran, err)
+	}
+
+	// Phase 3 — faults cleared, cooldown elapsed: the half-open probe
+	// succeeds and closes the breaker.
+	m.AttachFault(nil)
+	th.Advance(60 * sim.Millisecond)
+	if _, ran, err := rt.PushdownWithPolicy(th, inc, core.Options{}, pol); err != nil || !ran {
+		t.Fatalf("phase 3: ran=%v err=%v, want a successful probe", ran, err)
+	}
+
+	// Phase 4 — shed: one context, queue capacity one, three concurrent
+	// pushers; the last to arrive is rejected by admission control.
+	errs := make([]error, 3)
+	s := sim.NewScheduler()
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn("pusher", sim.Time(i)*10*sim.Microsecond, func(pt *sim.Thread) {
+			_, errs[i] = rt.Pushdown(pt, func(env *ddc.Env) {
+				env.Compute(2_000_000) // ~1 ms
+			}, core.Options{})
+		})
+	}
+	s.Run()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("phase 4: first two pushers failed: %v, %v", errs[0], errs[1])
+	}
+	queueFull := 0
+	if errors.Is(errs[2], core.ErrQueueFull) {
+		queueFull++
+	}
+
+	// The three increment calls (two local, one pushed) applied exactly
+	// once each despite two mid-execution crashes.
+	var h uint64
+	for i := 0; i < pages; i++ {
+		if got := env.ReadI64(a + mem.Addr(i)*mem.PageSize); got != int64(i)+3 {
+			t.Fatalf("slot %d = %d, want %d (exactly-once violated across the scenario)", i, got, i+3)
+		}
+		h = h*1099511628211 + uint64(i)
+	}
+
+	counts := map[trace.Kind]int{}
+	for _, e := range ring.Events() {
+		if e.Phase != trace.PhaseEnd {
+			counts[e.Kind]++
+		}
+	}
+	return soakObserved{
+		Elapsed:   th.Now(),
+		Stats:     rt.Stats(),
+		VecHash:   h,
+		Rollback:  counts[trace.KindPushRollback],
+		Shed:      counts[trace.KindShed],
+		BrOpen:    counts[trace.KindBreakerOpen],
+		BrHalf:    counts[trace.KindBreakerHalfOpen],
+		BrClose:   counts[trace.KindBreakerClose],
+		QueueFull: queueFull,
+	}
+}
+
+// TestSoakPathCoverage is the always-on distillation of the soak: one
+// deterministic configuration provably exercises undo-log rollback,
+// admission-control shedding, and a full breaker open → half-open → close
+// cycle, asserted through trace-kind counts — and a rerun of the identical
+// schedule is bit-identical.
+func TestSoakPathCoverage(t *testing.T) {
+	got := soakScenario(t)
+
+	if got.Rollback != 2 || got.Stats.Rollbacks != 2 {
+		t.Errorf("rollbacks: trace=%d stats=%d, want 2 and 2", got.Rollback, got.Stats.Rollbacks)
+	}
+	if got.Stats.RolledBackPages == 0 {
+		t.Error("RolledBackPages = 0, want > 0")
+	}
+	if got.Shed != 1 || got.Stats.Shed != 1 || got.QueueFull != 1 {
+		t.Errorf("shed: trace=%d stats=%d queue-full-errors=%d, want 1/1/1",
+			got.Shed, got.Stats.Shed, got.QueueFull)
+	}
+	if got.BrOpen != 1 || got.BrHalf != 1 || got.BrClose != 1 {
+		t.Errorf("breaker cycle: open=%d half=%d close=%d, want 1/1/1",
+			got.BrOpen, got.BrHalf, got.BrClose)
+	}
+	if got.Stats.BreakerShortCircuits != 1 {
+		t.Errorf("BreakerShortCircuits = %d, want 1", got.Stats.BreakerShortCircuits)
+	}
+	if got.Stats.LocalFallbacks != 2 {
+		t.Errorf("LocalFallbacks = %d, want 2 (crash fallback + short-circuit)", got.Stats.LocalFallbacks)
+	}
+
+	rerun := soakScenario(t)
+	if got != rerun {
+		t.Errorf("identical schedules differ:\n  a=%+v\n  b=%+v", got, rerun)
+	}
+}

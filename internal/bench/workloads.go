@@ -226,6 +226,15 @@ func run(w workload, opts Options, spec runSpec) runOut {
 			contexts = 1
 		}
 		rt = core.NewRuntime(p, contexts)
+		rt.QueueCap = opts.PushQueueCap
+		if opts.BreakerThreshold > 0 {
+			rt.Breaker.Threshold = opts.BreakerThreshold
+		} else if opts.BreakerThreshold < 0 {
+			rt.Breaker.Threshold = 0 // disabled
+		}
+		if opts.BreakerCooldown > 0 {
+			rt.Breaker.Cooldown = opts.BreakerCooldown
+		}
 		ex = profile.NewExec(th, p, rt)
 		push := spec.pushOps
 		if push == nil {
@@ -233,6 +242,7 @@ func run(w workload, opts Options, spec runSpec) runOut {
 		}
 		ex.Push(push...)
 		ex.PushFlags = spec.pushFlags
+		ex.PushDeadline = opts.PushDeadline
 	}
 	attrBefore := *m.Times
 	tstart := th.Now()

@@ -17,23 +17,56 @@ import (
 
 // memPager services the temporary user context's accesses — Figure 9's
 // MemoryOnPageFault (lines 11–17) plus the compute-side handler it triggers
-// (ComputeOnPageRequest, lines 18–25).
+// (ComputeOnPageRequest, lines 18–25). It also carries the call's
+// crash-consistency state: the undo journal of pre-images, the armed
+// mid-execution crash point, and the deadline budget.
 type memPager struct {
 	ps   *pushState
 	st   *Stats
 	opts Options
+
+	journal undoJournal
+	touches int      // page accesses served so far (the crash-point axis)
+	crashAt int      // touch ordinal at which an armed mid-crash fires (0 = unarmed)
+	dieAt   sim.Time // absolute deadline (0 = none)
+}
+
+// pushAbort is the panic value that tears down a pushed function from
+// inside the pager — an armed mid-execution context crash or a blown
+// deadline. Pushdown's recover distinguishes it from user panics (which
+// become RemoteError) and runs the rollback path.
+type pushAbort struct {
+	err      error // ErrContextCrashed or ErrDeadlineExceeded
+	midCrash bool
+}
+
+// precheck runs at every page access of the temporary context: it is where
+// an armed mid-execution crash fires (deterministically, at the seeded
+// touch ordinal — but only once the call has dirtied at least one page, so
+// the crash is genuinely mid-mutation) and where the deadline budget is
+// enforced during execution.
+func (mp *memPager) precheck(e *ddc.Env) {
+	mp.touches++
+	if mp.crashAt > 0 && mp.touches >= mp.crashAt && mp.journal.pages() > 0 {
+		panic(pushAbort{err: ErrContextCrashed, midCrash: true})
+	}
+	if mp.dieAt > 0 && e.T.Now() > mp.dieAt {
+		panic(pushAbort{err: ErrDeadlineExceeded})
+	}
 }
 
 // EnsurePage implements the memory-place access path.
 func (mp *memPager) EnsurePage(e *ddc.Env, pg mem.PageID, write bool) {
 	ps := mp.ps
 	p := ps.rt.P
+	mp.precheck(e)
 
 	if mp.opts.Flags&(FlagNoCoherence|FlagEagerSync|FlagMigrateProcess|FlagEvictRanges) != 0 {
 		// Relaxed / strawman modes: no protocol, only pool residency (and
 		// dirty tracking so eager mode knows what changed).
 		p.EnsureInPool(e.T, pg, write)
 		if write {
+			mp.journal.capture(p.Space, pg)
 			ps.temp.entry(pg).dirty = true
 		}
 		return
@@ -47,6 +80,7 @@ func (mp *memPager) EnsurePage(e *ddc.Env, pg mem.PageID, write bool) {
 		p.EnsureInPool(e.T, pg, write)
 		ent := tt.entry(pg)
 		if write {
+			mp.journal.capture(p.Space, pg)
 			ent.dirty = true
 		}
 		ent.lastMemTouch = e.T.Now()
@@ -98,6 +132,7 @@ func (mp *memPager) EnsurePage(e *ddc.Env, pg mem.PageID, write bool) {
 		ent.writable = true
 	}
 	if write {
+		mp.journal.capture(p.Space, pg)
 		ent.writable = true
 		ent.dirty = true
 	}

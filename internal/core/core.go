@@ -88,6 +88,15 @@ type Options struct {
 	// memory pool ("buggy code", §3.2). Zero means no limit.
 	ExecLimit sim.Time
 
+	// Deadline is the call's virtual-time budget, measured from the attempt's
+	// entry and spanning queue wait, context setup, and execution. A call
+	// that cannot finish in budget aborts with ErrDeadlineExceeded instead
+	// of stalling the caller; an abort mid-execution first rolls the undo
+	// journal back, so the abort is Recoverable. Zero means no budget.
+	// Unlike Timeout (which only cancels while queued), the deadline is
+	// enforced at every phase of the call.
+	Deadline sim.Time
+
 	// EvictRanges lists the address ranges owned by the pushed computation
 	// for FlagEvictRanges.
 	EvictRanges []Range
@@ -111,6 +120,7 @@ type Stats struct {
 	PostSync   sim.Time // (6) post-pushdown synchronisation
 
 	ResidentPages      int   // compute-resident pages at call time
+	RollbackPages      int   // pages restored from the undo journal on abort
 	RLERuns            int   // runs after §6's run-length encoding
 	RequestBytes       int   // request message size (RLE or bitmap list, whichever is smaller)
 	SetupInvalidations int   // Figure 8 invalidations applied at setup
@@ -154,23 +164,42 @@ var (
 
 	// ErrContextCrashed reports that the temporary user context crashed in
 	// the memory pool before the pushed function committed (injected by the
-	// machine's fault plan). Like ErrMemoryPoolDown, fn has not run; the
-	// RetryThenLocal policy re-runs a context-crashed pushdown once before
-	// degrading to local execution.
+	// machine's fault plan) — either before fn started, or mid-execution
+	// after fn dirtied pages, in which case the controller rolled the
+	// call's undo journal back before reporting the crash. Either way the
+	// pool state is as if fn never ran; the RetryThenLocal policy re-runs a
+	// context-crashed pushdown once before degrading to local execution.
 	ErrContextCrashed = errors.New("teleport: pushdown context crashed in the memory pool")
+
+	// ErrQueueFull reports that admission control shed the request: the
+	// memory pool's workqueue already held Runtime.QueueCap waiters. The
+	// pushed function has not run; retrying (with backoff) or running
+	// locally is safe.
+	ErrQueueFull = errors.New("teleport: pushdown request shed (memory-pool workqueue full)")
+
+	// ErrDeadlineExceeded reports that the call blew its Options.Deadline
+	// budget. If execution had already dirtied pages, the undo journal was
+	// rolled back before this error was reported, so the pool state is as
+	// if fn never ran and retrying or falling back is safe.
+	ErrDeadlineExceeded = errors.New("teleport: pushdown deadline budget exceeded")
 
 	// ErrNotDisaggregated reports a pushdown on a monolithic machine.
 	ErrNotDisaggregated = errors.New("teleport: pushdown requires a disaggregated machine")
 )
 
 // Recoverable reports whether a pushdown error is safe to retry or absorb
-// with a compute-side fallback: the pushed function is guaranteed not to
-// have executed. Cancellation, heartbeat loss, and context crashes qualify;
-// ErrKilled and RemoteError do not (the function ran).
+// with a compute-side fallback: the pushed function is guaranteed to have
+// had no observable effect — either it never ran (cancellation, heartbeat
+// loss, shed, pre-commit context crash) or its partial writes were rolled
+// back from the undo journal before the error was reported (mid-execution
+// crash, deadline abort). ErrKilled and RemoteError do not qualify: the
+// function ran to the kill point or panicked, and its effects stand.
 func Recoverable(err error) bool {
 	return errors.Is(err, ErrCancelled) ||
 		errors.Is(err, ErrMemoryPoolDown) ||
-		errors.Is(err, ErrContextCrashed)
+		errors.Is(err, ErrContextCrashed) ||
+		errors.Is(err, ErrQueueFull) ||
+		errors.Is(err, ErrDeadlineExceeded)
 }
 
 // RemoteError wraps a panic thrown by the pushed function; it is rethrown

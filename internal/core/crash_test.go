@@ -1,0 +1,337 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"teleport/internal/ddc"
+	"teleport/internal/fault"
+	"teleport/internal/mem"
+	"teleport/internal/sim"
+	"teleport/internal/trace"
+)
+
+// incVec returns a Func that increments every i64 slot of a vector in
+// place — a deliberately non-idempotent read-modify-write: if a partial
+// execution's writes survived a crash, re-execution would double-increment
+// the prefix. The vector spans enough pages that an armed mid-crash (whose
+// crash point lies within the first midCrashTouchSpan page accesses) always
+// fires before the function finishes.
+func incVec(a mem.Addr, n int) Func {
+	return func(env *ddc.Env) {
+		for i := 0; i < n; i++ {
+			addr := a + mem.Addr(i*8)
+			env.WriteI64(addr, env.ReadI64(addr)+1)
+		}
+	}
+}
+
+// vecPages sizes a vector at one i64 per page so every slot access is a
+// fresh page touch.
+const vecPages = 520
+
+func fillVecPages(p *ddc.Process, th *sim.Thread) mem.Addr {
+	a := p.Space.AllocPages(vecPages*mem.PageSize, "vec")
+	env := p.NewEnv(th)
+	for i := 0; i < vecPages; i++ {
+		env.WriteI64(a+mem.Addr(i)*mem.PageSize, int64(i))
+	}
+	return a
+}
+
+func incVecPages(a mem.Addr) Func {
+	return func(env *ddc.Env) {
+		for i := 0; i < vecPages; i++ {
+			addr := a + mem.Addr(i)*mem.PageSize
+			env.WriteI64(addr, env.ReadI64(addr)+1)
+		}
+	}
+}
+
+func checkVecOnce(t *testing.T, p *ddc.Process, th *sim.Thread, a mem.Addr, where string) {
+	t.Helper()
+	env := p.NewEnv(th)
+	for i := 0; i < vecPages; i++ {
+		if got := env.ReadI64(a + mem.Addr(i)*mem.PageSize); got != int64(i)+1 {
+			t.Fatalf("%s: slot %d = %d, want %d (exactly-once violated)", where, i, got, i+1)
+		}
+	}
+}
+
+// A mid-execution crash on every attempt: the policy re-runs once, the
+// rerun crashes too, and the compute-side fallback executes against the
+// rolled-back state — so the non-idempotent increments apply exactly once.
+func TestMidCrashRollsBackNonIdempotentWrites(t *testing.T) {
+	p, rt := testProc(16)
+	ring := trace.New(4096)
+	p.M.AttachTrace(ring)
+	p.M.AttachFault(fault.NewPlan(fault.Profile{Name: "mid", CtxCrashMidProb: 1}, 3))
+	th := sim.NewThread("t")
+	a := fillVecPages(p, th)
+
+	st, ran, err := rt.PushdownWithPolicy(th, incVecPages(a), Options{}, DefaultRetryThenLocal())
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	if ran {
+		t.Fatal("every attempt crashes mid-execution; fn should have run locally")
+	}
+	checkVecOnce(t, p, th, a, "after fallback")
+
+	rs := rt.Stats()
+	if rs.Rollbacks != 2 || rs.CtxCrashes != 2 {
+		t.Fatalf("Rollbacks=%d CtxCrashes=%d, want 2 and 2 (initial attempt + one rerun)", rs.Rollbacks, rs.CtxCrashes)
+	}
+	if rs.RolledBackPages == 0 {
+		t.Fatal("RolledBackPages = 0, want > 0")
+	}
+	if rs.LocalFallbacks != 1 {
+		t.Fatalf("LocalFallbacks = %d, want 1", rs.LocalFallbacks)
+	}
+	if n := countKind(ring, trace.KindPushRollback); n != 2 {
+		t.Fatalf("push-rollback events = %d, want 2", n)
+	}
+	if st.RollbackPages == 0 {
+		t.Fatal("last attempt's Stats.RollbackPages = 0, want > 0")
+	}
+}
+
+// A bare Pushdown that crashes mid-execution reports ErrContextCrashed and
+// leaves the pool's memory byte-identical to the pre-call state.
+func TestBarePushdownMidCrashLeavesMemoryPristine(t *testing.T) {
+	p, rt := testProc(16)
+	p.M.AttachFault(fault.NewPlan(fault.Profile{Name: "mid", CtxCrashMidProb: 1}, 5))
+	th := sim.NewThread("t")
+	a := fillVecPages(p, th)
+
+	first, last := mem.PageOf(a), mem.PageOf(a+vecPages*mem.PageSize-1)
+	before := make(map[mem.PageID][]byte)
+	for pg := first; pg <= last; pg++ {
+		before[pg] = p.Space.SnapshotPage(pg)
+	}
+
+	st, err := rt.Pushdown(th, incVecPages(a), Options{})
+	if !errors.Is(err, ErrContextCrashed) {
+		t.Fatalf("err = %v, want ErrContextCrashed", err)
+	}
+	if st.RollbackPages == 0 {
+		t.Fatal("Stats.RollbackPages = 0, want > 0 (the crash fired after dirtying pages)")
+	}
+	for pg := first; pg <= last; pg++ {
+		got := p.Space.SnapshotPage(pg)
+		for i := range got {
+			if got[i] != before[pg][i] {
+				t.Fatalf("page %d byte %d = %#x, want %#x (rollback incomplete)", pg, i, got[i], before[pg][i])
+			}
+		}
+	}
+	// The rolled-back pages' dirty bits were cleared: a follow-up pushdown
+	// must not merge never-committed state.
+	if rt.ps != nil {
+		t.Fatal("push state leaked after the aborted call")
+	}
+}
+
+// Mid-execution crashes are deterministic: same seed, same schedule, same
+// virtual-time total and counters.
+func TestMidCrashSameSeedBitIdentical(t *testing.T) {
+	run := func() (sim.Time, RuntimeStats) {
+		p, rt := testProc(16)
+		p.M.AttachFault(fault.NewPlan(fault.MidCrash(), 11))
+		th := sim.NewThread("t")
+		a := fillVecPages(p, th)
+		for i := 0; i < 6; i++ {
+			if _, _, err := rt.PushdownWithPolicy(th, incVecPages(a), Options{}, DefaultRetryThenLocal()); err != nil {
+				t.Fatalf("policy: %v", err)
+			}
+		}
+		return th.Now(), rt.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("same-seed runs differ:\n  t=%v vs %v\n  s=%+v\n  vs %+v", t1, t2, s1, s2)
+	}
+}
+
+// Admission control: with one context busy and the queue at capacity, a
+// third request is shed with ErrQueueFull instead of waiting.
+func TestQueueFullShedsDeterministically(t *testing.T) {
+	m := ddc.MustMachine(ddc.BaseDDC(64 * mem.PageSize))
+	p := m.NewProcess()
+	ring := trace.New(1024)
+	m.AttachTrace(ring)
+	rt := NewRuntime(p, 1)
+	rt.QueueCap = 1
+
+	errs := make([]error, 3)
+	s := sim.NewScheduler()
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn("pusher", sim.Time(i)*10*sim.Microsecond, func(th *sim.Thread) {
+			_, errs[i] = rt.Pushdown(th, func(env *ddc.Env) {
+				env.Compute(2_000_000) // ~1 ms: keep the context busy
+			}, Options{})
+		})
+	}
+	s.Run()
+
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("first two pushdowns: %v, %v (the queue holds one waiter)", errs[0], errs[1])
+	}
+	if !errors.Is(errs[2], ErrQueueFull) {
+		t.Fatalf("third pushdown err = %v, want ErrQueueFull", errs[2])
+	}
+	if !Recoverable(errs[2]) {
+		t.Fatal("ErrQueueFull must be Recoverable")
+	}
+	if rt.Stats().Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", rt.Stats().Shed)
+	}
+	if n := countKind(ring, trace.KindShed); n != 1 {
+		t.Fatalf("shed events = %d, want 1", n)
+	}
+}
+
+// Deadline budgets: a queued request whose budget expires before a context
+// frees up is aborted at the budget instant with ErrDeadlineExceeded.
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	m := ddc.MustMachine(ddc.BaseDDC(64 * mem.PageSize))
+	p := m.NewProcess()
+	rt := NewRuntime(p, 1)
+
+	var errSecond error
+	var waited sim.Time
+	s := sim.NewScheduler()
+	s.Spawn("long", 0, func(th *sim.Thread) {
+		if _, err := rt.Pushdown(th, func(env *ddc.Env) {
+			env.Compute(21_000_000) // ~10 ms
+		}, Options{}); err != nil {
+			t.Errorf("long pushdown: %v", err)
+		}
+	})
+	s.Spawn("budgeted", 0, func(th *sim.Thread) {
+		th.Advance(10 * sim.Microsecond)
+		start := th.Now()
+		_, errSecond = rt.Pushdown(th, func(env *ddc.Env) {}, Options{Deadline: sim.Millisecond})
+		waited = th.Now() - start
+	})
+	s.Run()
+	if !errors.Is(errSecond, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", errSecond)
+	}
+	if !Recoverable(errSecond) {
+		t.Fatal("ErrDeadlineExceeded must be Recoverable")
+	}
+	if waited > 2*sim.Millisecond {
+		t.Fatalf("budgeted caller resumed after %v, want ≈ the 1 ms budget", waited)
+	}
+	if rt.Stats().DeadlineAborts != 1 {
+		t.Fatalf("DeadlineAborts = %d, want 1", rt.Stats().DeadlineAborts)
+	}
+	if rt.Stats().Cancelled != 0 {
+		t.Fatalf("Cancelled = %d, want 0 (budget aborts are not try_cancel timeouts)", rt.Stats().Cancelled)
+	}
+}
+
+// A call that blows its budget mid-execution aborts, rolls its partial
+// writes back, and leaves the data untouched.
+func TestDeadlineExpiresMidExecutionRollsBack(t *testing.T) {
+	p, rt := testProc(16)
+	th := sim.NewThread("t")
+	a := fillVecPages(p, th)
+
+	st, err := rt.Pushdown(th, incVecPages(a), Options{Deadline: 100 * sim.Microsecond})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if st.RollbackPages == 0 {
+		t.Fatal("Stats.RollbackPages = 0, want > 0 (writes happened before the budget expired)")
+	}
+	rs := rt.Stats()
+	if rs.Rollbacks != 1 || rs.DeadlineAborts != 1 {
+		t.Fatalf("Rollbacks=%d DeadlineAborts=%d, want 1 and 1", rs.Rollbacks, rs.DeadlineAborts)
+	}
+	env := p.NewEnv(th)
+	for i := 0; i < vecPages; i++ {
+		if got := env.ReadI64(a + mem.Addr(i)*mem.PageSize); got != int64(i) {
+			t.Fatalf("slot %d = %d, want %d (partial writes survived the abort)", i, got, i)
+		}
+	}
+}
+
+// The circuit breaker walks its full cycle: consecutive failures open it,
+// open calls short-circuit to local execution, the cooldown admits one
+// half-open probe, and a successful probe closes it.
+func TestBreakerOpensHalfOpensCloses(t *testing.T) {
+	p, rt := testProc(16)
+	ring := trace.New(1024)
+	p.M.AttachTrace(ring)
+	rt.Breaker = BreakerConfig{Threshold: 2, Cooldown: 300 * sim.Microsecond}
+	th := sim.NewThread("t")
+	a := fillVec(p, th, 64)
+	var out int64
+	pol := RetryThenLocal{MaxRetries: 0}
+
+	rt.SetMemoryPoolDown(true)
+	for i := 0; i < 2; i++ {
+		if _, ran, err := rt.PushdownWithPolicy(th, sumFunc(a, 64, &out), Options{}, pol); err != nil || ran {
+			t.Fatalf("call %d: ran=%v err=%v, want local fallback", i, ran, err)
+		}
+	}
+	rs := rt.Stats()
+	if rs.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1 after two consecutive failures", rs.BreakerOpens)
+	}
+
+	// Open: the next call must not even attempt a pushdown.
+	calls := rt.Stats().Calls
+	if _, ran, err := rt.PushdownWithPolicy(th, sumFunc(a, 64, &out), Options{}, pol); err != nil || ran {
+		t.Fatalf("short-circuit call: ran=%v err=%v", ran, err)
+	}
+	if rt.Stats().Calls != calls {
+		t.Fatal("an open breaker still attempted a pushdown")
+	}
+	if rt.Stats().BreakerShortCircuits != 1 {
+		t.Fatalf("BreakerShortCircuits = %d, want 1", rt.Stats().BreakerShortCircuits)
+	}
+
+	// Cooldown elapses and the pool recovers: the half-open probe succeeds
+	// and closes the breaker.
+	th.Advance(400 * sim.Microsecond)
+	rt.SetMemoryPoolDown(false)
+	if _, ran, err := rt.PushdownWithPolicy(th, sumFunc(a, 64, &out), Options{}, pol); err != nil || !ran {
+		t.Fatalf("probe call: ran=%v err=%v, want a successful pushdown", ran, err)
+	}
+	rs = rt.Stats()
+	if rs.BreakerHalfOpens != 1 || rs.BreakerCloses != 1 {
+		t.Fatalf("BreakerHalfOpens=%d BreakerCloses=%d, want 1 and 1", rs.BreakerHalfOpens, rs.BreakerCloses)
+	}
+	for _, k := range []trace.Kind{trace.KindBreakerOpen, trace.KindBreakerHalfOpen, trace.KindBreakerClose} {
+		if n := countKind(ring, k); n != 1 {
+			t.Fatalf("%v events = %d, want 1", k, n)
+		}
+	}
+	if out != 64*63/2 {
+		t.Fatalf("sum = %d, want %d", out, 64*63/2)
+	}
+}
+
+// A failed half-open probe re-opens the breaker immediately.
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	p, rt := testProc(16)
+	rt.Breaker = BreakerConfig{Threshold: 1, Cooldown: 100 * sim.Microsecond}
+	th := sim.NewThread("t")
+	a := fillVec(p, th, 8)
+	var out int64
+	pol := RetryThenLocal{MaxRetries: 0}
+
+	rt.SetMemoryPoolDown(true)
+	rt.PushdownWithPolicy(th, sumFunc(a, 8, &out), Options{}, pol) // opens
+	th.Advance(200 * sim.Microsecond)
+	rt.PushdownWithPolicy(th, sumFunc(a, 8, &out), Options{}, pol) // probe fails → reopen
+	rs := rt.Stats()
+	if rs.BreakerOpens != 2 || rs.BreakerHalfOpens != 1 || rs.BreakerCloses != 0 {
+		t.Fatalf("opens=%d half=%d closes=%d, want 2/1/0", rs.BreakerOpens, rs.BreakerHalfOpens, rs.BreakerCloses)
+	}
+}

@@ -17,6 +17,14 @@ import (
 const (
 	ctrlMsgBytes = 48 // coherence control message
 	pageMsgBytes = mem.PageSize + 32
+
+	// midCrashTouchSpan is the page-access-ordinal range the seeded
+	// mid-crash fraction maps onto: an armed context dies at its
+	// (1 + frac·span)-th page access, once it has dirtied at least one
+	// page. Page accesses — not wall progress — are the crash axis because
+	// they are the only points where the memory kernel runs on the call's
+	// behalf.
+	midCrashTouchSpan = 256
 )
 
 // Func is a pushed-down function. It runs in the memory pool inside a
@@ -51,17 +59,33 @@ type Runtime struct {
 	// user contexts run than the memory pool has physical cores.
 	CtxSwitchPenalty float64
 
+	// QueueCap bounds the memory pool's workqueue: when every context is
+	// busy and QueueCap requests are already waiting, admission control
+	// sheds the call with ErrQueueFull instead of queueing it (deterministic
+	// load-shedding; overload turns into fast failure, not unbounded wait).
+	// Zero keeps the unbounded FIFO.
+	QueueCap int
+
+	// Breaker configures the runtime's health-tracking circuit breaker
+	// (used by PushdownWithPolicy; bare Pushdown calls bypass it).
+	Breaker BreakerConfig
+
 	running int
 	queue   []*waiter
 	ps      *pushState
 	down    bool // manual SetMemoryPoolDown override (indefinite outage)
 	downObs bool // last heartbeat observation, for crash/recover trace edges
 	agg     RuntimeStats
+
+	brState    breakerState
+	brStreak   int      // consecutive recoverable failures while closed
+	brOpenedAt sim.Time // when the breaker last opened
 }
 
 type waiter struct {
 	t         *sim.Thread
 	deadline  sim.Time // 0 = no timeout
+	budget    bool     // deadline comes from Options.Deadline, not Timeout
 	cancelled bool
 }
 
@@ -87,9 +111,19 @@ type RuntimeStats struct {
 
 	// Failure/recovery counters (§3.2 failure handling).
 	PoolDownObserved int64 // heartbeat observations that found the pool down
-	CtxCrashes       int64 // temporary-context crashes injected
+	CtxCrashes       int64 // temporary-context crashes injected (pre-commit + mid-execution)
 	Retries          int64 // pushdown re-attempts by the recovery policy
 	LocalFallbacks   int64 // pushdowns degraded to compute-side execution
+
+	// Crash-consistency and overload counters.
+	Shed                 int64 // requests rejected by admission control (queue full)
+	DeadlineAborts       int64 // calls aborted for blowing their Options.Deadline budget
+	Rollbacks            int64 // undo-journal rollbacks performed (mid-crash + deadline aborts)
+	RolledBackPages      int64 // pages restored across all rollbacks
+	BreakerOpens         int64 // circuit-breaker closed/half-open → open transitions
+	BreakerHalfOpens     int64 // open → half-open transitions (cooldown elapsed)
+	BreakerCloses        int64 // half-open → closed transitions (probe succeeded)
+	BreakerShortCircuits int64 // calls sent straight to local execution while open
 
 	// Per-phase virtual-time sums across calls (each call's Stats,
 	// accumulated), so a run-level report can break pushdown time down
@@ -128,6 +162,7 @@ func NewRuntime(p *ddc.Process, contexts int) *Runtime {
 		TiebreakWait:     15 * sim.Microsecond,
 		ContentionWindow: 10 * sim.Microsecond,
 		CtxSwitchPenalty: 0.05,
+		Breaker:          DefaultBreaker(),
 	}
 }
 
@@ -216,26 +251,40 @@ func DefaultRetryThenLocal() RetryThenLocal {
 	return RetryThenLocal{MaxRetries: 3, Backoff: 50 * sim.Microsecond}
 }
 
-// PushdownWithPolicy runs fn under the RetryThenLocal recovery policy. It
-// returns the last pushdown attempt's breakdown, whether fn ultimately ran
-// in the memory pool, and the error for non-recoverable failures (ErrKilled,
-// RemoteError, ErrNotDisaggregated — recoverable ones are absorbed by the
-// fallback). Because every recoverable error is raised before the pushed
-// function commits, fn executes exactly once no matter how many attempts
-// were needed.
+// PushdownWithPolicy runs fn under the RetryThenLocal recovery policy and
+// the runtime's circuit breaker. It returns the last pushdown attempt's
+// breakdown, whether fn ultimately ran in the memory pool, and the error for
+// non-recoverable failures (ErrKilled, RemoteError, ErrNotDisaggregated —
+// recoverable ones are absorbed by the fallback). Every recoverable error is
+// raised either before the pushed function commits or after its partial
+// writes were rolled back from the undo journal, so fn's effects are applied
+// exactly once no matter how many attempts were needed.
+//
+// While the breaker is open (Runtime.Breaker), calls short-circuit straight
+// to compute-side execution without attempting a pushdown; after the
+// cooldown one probe attempt is allowed through and its outcome closes or
+// re-opens the breaker.
 func (r *Runtime) PushdownWithPolicy(t *sim.Thread, fn Func, opts Options, pol RetryThenLocal) (Stats, bool, error) {
 	backoff := pol.Backoff
 	ctxRerun := false
 	retries := 0
 	for {
+		if !r.breakerAllow(t) {
+			r.agg.BreakerShortCircuits++
+			r.P.M.Metrics.Counter("push.breaker.short-circuits").Inc()
+			r.runLocalFallback(t, fn)
+			return Stats{}, false, nil
+		}
 		st, err := r.Pushdown(t, fn, opts)
 		switch {
 		case err == nil:
+			r.breakerSuccess(t)
 			return st, true, nil
 
 		case errors.Is(err, ErrContextCrashed):
 			// §3.2: the controller reaps the dead context; the compute
 			// side re-issues the request once, then gives up on the pool.
+			r.breakerFailure(t)
 			if ctxRerun {
 				r.runLocalFallback(t, fn)
 				return st, false, nil
@@ -245,6 +294,7 @@ func (r *Runtime) PushdownWithPolicy(t *sim.Thread, fn Func, opts Options, pol R
 			r.P.M.Metrics.Counter("push.retries").Inc()
 
 		case Recoverable(err) && retries < pol.MaxRetries:
+			r.breakerFailure(t)
 			retries++
 			r.agg.Retries++
 			r.P.M.Metrics.Counter("push.retries").Inc()
@@ -264,6 +314,7 @@ func (r *Runtime) PushdownWithPolicy(t *sim.Thread, fn Func, opts Options, pol R
 
 		case Recoverable(err):
 			// Out of retries: degrade to compute-side execution.
+			r.breakerFailure(t)
 			r.runLocalFallback(t, fn)
 			return st, false, nil
 
@@ -313,6 +364,12 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	tr := p.M.Tracer()
 	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindPushdownStart, Arg: callID, Who: t.Name()})
 	callStart := t.Now()
+	// The deadline budget is per attempt, measured from this entry; it is
+	// enforced at every phase below and inside execution by the pager.
+	var deadlineAt sim.Time
+	if opts.Deadline > 0 {
+		deadlineAt = callStart + opts.Deadline
+	}
 	sp := tr.Begin(t, trace.KindPushdown, 0, callID)
 	defer func() {
 		tr.End(t, sp)
@@ -362,15 +419,25 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	}
 
 	// ❸ Workqueue: wait for a free user context (FIFO; try_cancel applies
-	// while queued).
+	// while queued, admission control sheds when the queue is at capacity).
 	mark = t.Now()
 	qs := tr.Begin(t, trace.KindPushQueue, 0, callID)
-	err = r.acquire(t, opts)
+	err = r.acquire(t, opts, deadlineAt)
 	tr.End(t, qs)
 	st.Queue = t.Now() - mark
 	p.M.Times.Add(metrics.CompPushQueue, st.Queue)
 	p.M.Metrics.Histogram("push.queue.ns").Observe(st.Queue)
-	if err != nil {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		r.agg.Shed++
+		p.M.Metrics.Counter("push.shed").Inc()
+		p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindShed, Arg: callID, Who: t.Name()})
+		return st, err
+	case errors.Is(err, ErrDeadlineExceeded):
+		r.agg.DeadlineAborts++
+		p.M.Metrics.Counter("push.deadline-aborts").Inc()
+		return st, err
+	case err != nil:
 		r.agg.Cancelled++
 		return st, err
 	}
@@ -380,6 +447,13 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	if r.observeHeartbeat(t) {
 		r.release(t)
 		return st, ErrMemoryPoolDown
+	}
+	// The queue wait alone may have consumed the whole budget.
+	if deadlineAt > 0 && t.Now() > deadlineAt {
+		r.agg.DeadlineAborts++
+		p.M.Metrics.Counter("push.deadline-aborts").Inc()
+		r.release(t)
+		return st, ErrDeadlineExceeded
 	}
 
 	// ❹ Temporary user context setup (Figure 8).
@@ -412,25 +486,52 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 		r.release(t)
 		return st, ErrContextCrashed
 	}
+	// Context setup may also have exhausted the budget (nothing is dirty
+	// yet, so no rollback is needed).
+	if deadlineAt > 0 && t.Now() > deadlineAt {
+		r.agg.DeadlineAborts++
+		p.M.Metrics.Counter("push.deadline-aborts").Inc()
+		r.exitPush(ps)
+		r.release(t)
+		return st, ErrDeadlineExceeded
+	}
 
-	// Function execution with online coherence (Figure 9).
+	// Function execution with online coherence (Figure 9). The pager keeps
+	// the call's undo journal and enforces the armed mid-execution crash
+	// point and the deadline at every page access.
 	mark = t.Now()
 	es := tr.Begin(t, trace.KindPushExec, 0, callID)
-	pager := &memPager{ps: ps, st: &st, opts: opts}
+	pager := &memPager{ps: ps, st: &st, opts: opts, dieAt: deadlineAt}
+	if frac, mid := p.M.Fault.CtxCrashMid(); mid {
+		// Map the seeded fraction onto a page-access ordinal: the context
+		// dies at its crashAt-th access — once it has dirtied at least one
+		// page — which is deterministic for a given seed and workload.
+		pager.crashAt = 1 + int(frac*float64(midCrashTouchSpan))
+	}
 	env := p.NewMemoryEnv(t, pager)
 	env.Dilation = r.dilation
 	var remoteErr error
+	var abort *pushAbort
 	func() {
 		defer func() {
-			if v := recover(); v != nil {
-				remoteErr = &RemoteError{Value: v}
+			v := recover()
+			if v == nil {
+				return
 			}
+			if pa, ok := v.(pushAbort); ok {
+				abort = &pa
+				return
+			}
+			remoteErr = &RemoteError{Value: v}
 		}()
 		fn(env)
 	}()
 	tr.End(t, es)
 	st.Exec = t.Now() - mark
 	p.M.Metrics.Histogram("push.exec.ns").Observe(st.Exec)
+	if abort != nil {
+		return st, r.abortPush(t, ps, pager, callID, abort)
+	}
 	killed := opts.ExecLimit > 0 && st.Exec > opts.ExecLimit
 
 	// ❺–❼ Completion response: status plus any tunnelled exception (§3.2's
@@ -462,6 +563,61 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 		return st, ErrKilled
 	}
 	return st, remoteErr
+}
+
+// abortPush tears one call down after the pushed function was stopped
+// mid-execution — an armed context crash or a blown deadline budget. The
+// controller reaps the dead context, rolls the undo journal back, and only
+// then sends the failure notification: by the time the compute side learns
+// anything, the pool's memory is pristine again (rollback-before-report),
+// so the returned error is Recoverable even though fn partially ran.
+func (r *Runtime) abortPush(t *sim.Thread, ps *pushState, pager *memPager, callID int64, ab *pushAbort) error {
+	p := r.P
+	if ab.midCrash {
+		r.agg.CtxCrashes++
+		p.M.Metrics.Counter("push.ctx-crashes").Inc()
+		p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindFaultInjected, Arg: callID, Who: t.Name()})
+		// Reap cost, as for a pre-commit crash.
+		rs := t.Now()
+		t.AdvanceNs(p.M.Cfg.HW.CtxSwitchNs)
+		p.M.Times.Add(metrics.CompPushProto, t.Now()-rs)
+	} else {
+		r.agg.DeadlineAborts++
+		p.M.Metrics.Counter("push.deadline-aborts").Inc()
+	}
+	r.rollbackJournal(t, ps, pager, callID)
+	p.M.Fabric.RoundTrip(t, ctrlMsgBytes, ctrlMsgBytes, netmodel.ClassPushdown)
+	r.exitPush(ps)
+	r.release(t)
+	return ab.err
+}
+
+// rollbackJournal restores every pre-image the call's undo journal holds,
+// clears the rolled-back pages' dirty bits in the temporary page table (so
+// a later dirty-bit merge cannot write back state that was never
+// committed), and charges the controller's restore walk to virtual time.
+func (r *Runtime) rollbackJournal(t *sim.Thread, ps *pushState, pager *memPager, callID int64) {
+	n := pager.journal.pages()
+	if n == 0 {
+		return
+	}
+	p := r.P
+	cfg := &p.M.Cfg.HW
+	// The controller walks the journal: a PTE fixup plus a full-page DRAM
+	// copy per captured page.
+	rs := t.Now()
+	lines := float64(mem.PageSize / cfg.DRAMLineBytes)
+	t.AdvanceNs(hw.OpNs(cfg.MemoryClockGHz, float64(n)*cfg.PTEVisitOps) + float64(n)*lines*cfg.DRAMSeqLineNs)
+	p.M.Times.Add(metrics.CompPushProto, t.Now()-rs)
+	pager.journal.rollback(p.Space, func(pg mem.PageID) {
+		ps.temp.entry(pg).dirty = false
+	})
+	p.Epoch++ // rolled-back pages invalidate any env fast-path mapping
+	pager.st.RollbackPages = n
+	r.agg.Rollbacks++
+	r.agg.RolledBackPages += int64(n)
+	p.M.Metrics.Counter("push.rollbacks").Inc()
+	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindPushRollback, Arg: int64(n), Who: t.Name()})
 }
 
 // preSync performs the mode-dependent pre-pushdown synchronisation. It
@@ -627,21 +783,36 @@ func (r *Runtime) postSync(t *sim.Thread, ps *pushState, opts Options, eagerPage
 	}
 }
 
-// acquire waits for a free memory-pool user context, honouring try_cancel
-// timeouts for queued requests.
-func (r *Runtime) acquire(t *sim.Thread, opts Options) error {
+// acquire waits for a free memory-pool user context, honouring admission
+// control (QueueCap), try_cancel timeouts, and the call's deadline budget
+// for queued requests.
+func (r *Runtime) acquire(t *sim.Thread, opts Options, deadlineAt sim.Time) error {
 	if r.running < r.Contexts {
 		r.running++
 		r.P.M.Metrics.Gauge("push.running").Set(int64(r.running))
 		return nil
 	}
+	if r.QueueCap > 0 && len(r.queue) >= r.QueueCap {
+		// Deterministic load-shedding: the controller rejects the request
+		// outright rather than letting the queue grow without bound.
+		return ErrQueueFull
+	}
 	w := &waiter{t: t}
 	if opts.Timeout > 0 {
 		w.deadline = t.Now() + opts.Timeout
 	}
+	if deadlineAt > 0 && (w.deadline == 0 || deadlineAt < w.deadline) {
+		// The budget expires first: a queued request that cannot start in
+		// budget is cancelled at the budget instant, not the timeout.
+		w.deadline = deadlineAt
+		w.budget = true
+	}
 	r.queue = append(r.queue, w)
 	t.Block()
 	if w.cancelled {
+		if w.budget {
+			return ErrDeadlineExceeded
+		}
 		return ErrCancelled
 	}
 	return nil

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"teleport/internal/mem"
+)
+
+// undoJournal is the memory-kernel side's crash-consistency log for one
+// pushdown call: a copy-on-first-write pre-image of every page the temporary
+// context dirties. When the context dies mid-execution (an armed mid-crash
+// or a deadline abort), the controller restores the pre-images before the
+// compute side is told anything, so a retry — or the compute-side fallback —
+// re-executes against exactly the state fn started from. Without it,
+// non-idempotent pushed operators (read-modify-write accumulations) would
+// double-apply their partial writes on re-execution.
+type undoJournal struct {
+	pre   map[mem.PageID][]byte
+	order []mem.PageID // capture order, for a deterministic restore walk
+}
+
+// capture records page pg's pre-image if this call has not dirtied it yet.
+// It must run before the write it guards mutates the page: EnsurePage is
+// called ahead of the backing Space write, so the snapshot still sees the
+// pristine bytes.
+func (j *undoJournal) capture(s *mem.Space, pg mem.PageID) {
+	if _, ok := j.pre[pg]; ok {
+		return
+	}
+	if j.pre == nil {
+		j.pre = make(map[mem.PageID][]byte)
+	}
+	j.pre[pg] = s.SnapshotPage(pg)
+	j.order = append(j.order, pg)
+}
+
+// pages returns how many distinct pages the journal holds.
+func (j *undoJournal) pages() int { return len(j.order) }
+
+// rollback restores every captured pre-image in reverse capture order (a
+// fixed order — never map iteration — so two same-seed runs roll back
+// identically), invoking onPage for each restored page, and empties the
+// journal.
+func (j *undoJournal) rollback(s *mem.Space, onPage func(mem.PageID)) int {
+	n := len(j.order)
+	for i := n - 1; i >= 0; i-- {
+		pg := j.order[i]
+		s.RestorePage(pg, j.pre[pg])
+		if onPage != nil {
+			onPage(pg)
+		}
+	}
+	j.pre = nil
+	j.order = nil
+	return n
+}

@@ -63,6 +63,13 @@ type Profile struct {
 	// context crashes before the pushed function commits.
 	CtxCrashProb float64
 
+	// CtxCrashMidProb is the probability one pushdown's temporary user
+	// context crashes mid-execution — after the pushed function has begun
+	// dirtying pages in the memory pool. The runtime rolls the call's undo
+	// journal back before reporting the crash, so retries still observe
+	// pristine state (see internal/core and DESIGN.md §8).
+	CtxCrashMidProb float64
+
 	// SSDReadErrProb is the probability one SSD page read fails and is
 	// retried by the device layer.
 	SSDReadErrProb float64
@@ -81,19 +88,28 @@ type Counters struct {
 	Drops         int64 // messages lost in flight
 	Corruptions   int64 // messages failing integrity checks
 	Spikes        int64 // latency spikes applied
-	CtxCrashes    int64 // pushdown context crashes injected
+	CtxCrashes    int64 // pushdown context crashes injected (pre-commit)
+	CtxMidCrashes int64 // mid-execution context crashes armed
 	SSDReadErrors int64 // SSD read errors injected
 	PoolWindows   int64 // crash windows generated so far
 }
 
 // String summarises the counters.
 func (c Counters) String() string {
-	return fmt.Sprintf("drops=%d corrupt=%d spikes=%d ctx-crashes=%d ssd-errs=%d crash-windows=%d",
-		c.Drops, c.Corruptions, c.Spikes, c.CtxCrashes, c.SSDReadErrors, c.PoolWindows)
+	return fmt.Sprintf("drops=%d corrupt=%d spikes=%d ctx-crashes=%d ctx-mid-crashes=%d ssd-errs=%d crash-windows=%d",
+		c.Drops, c.Corruptions, c.Spikes, c.CtxCrashes, c.CtxMidCrashes, c.SSDReadErrors, c.PoolWindows)
 }
 
 // window is one memory-controller outage: down at [Down, Up).
 type window struct {
+	Down, Up sim.Time
+}
+
+// Window is one explicit memory-controller outage for NewWindowPlan: the
+// controller is down at every instant in [Down, Up) and back up at exactly
+// Up. A zero-length window (Down == Up) is inert: no instant falls inside
+// the half-open interval.
+type Window struct {
 	Down, Up sim.Time
 }
 
@@ -107,14 +123,16 @@ type Plan struct {
 
 	// Independent streams per layer, so the number of draws in one layer
 	// (say, a retry storm on the fabric) never shifts another layer's
-	// schedule.
-	net, crash, ctx, ssd *sim.RNG
+	// schedule. Mid-execution crashes draw from their own stream so that
+	// enabling them never shifts the pre-commit crash schedule either.
+	net, crash, ctx, ctxMid, ssd *sim.RNG
 
 	// Crash schedule, generated lazily but deterministically: window k is
 	// a pure function of (seed, k), so it does not matter in what order —
 	// or at what virtual times — the schedule is queried.
 	windows []window
 	cursor  sim.Time // end of the generated schedule
+	static  bool     // explicit NewWindowPlan schedule; never extended
 
 	c Counters
 }
@@ -123,13 +141,36 @@ type Plan struct {
 func NewPlan(prof Profile, seed int64) *Plan {
 	root := sim.NewRNG(seed)
 	return &Plan{
-		Prof:  prof,
-		Seed:  seed,
-		net:   root.Derive(1),
-		crash: root.Derive(2),
-		ctx:   root.Derive(3),
-		ssd:   root.Derive(4),
+		Prof:   prof,
+		Seed:   seed,
+		net:    root.Derive(1),
+		crash:  root.Derive(2),
+		ctx:    root.Derive(3),
+		ctxMid: root.Derive(5),
+		ssd:    root.Derive(4),
 	}
+}
+
+// NewWindowPlan returns a plan whose crash schedule is exactly the given
+// windows — which must be sorted by Down and non-overlapping — and which
+// injects no other faults. Boundary-condition tests use it to place an
+// outage edge at an exact virtual-time instant, which the randomised
+// schedules cannot.
+func NewWindowPlan(ws ...Window) *Plan {
+	p := NewPlan(Profile{Name: "windows", Description: "explicit crash windows"}, 0)
+	p.static = true
+	var prev sim.Time
+	for _, w := range ws {
+		if w.Up < w.Down || w.Down < prev {
+			panic(fmt.Sprintf("fault: NewWindowPlan windows must be sorted and non-overlapping, got [%v,%v) after %v",
+				w.Down, w.Up, prev))
+		}
+		prev = w.Up
+		p.windows = append(p.windows, window{Down: w.Down, Up: w.Up})
+		p.c.PoolWindows++
+	}
+	p.cursor = prev
+	return p
 }
 
 // Counters returns the injected-fault tallies so far.
@@ -168,7 +209,7 @@ func (p *Plan) SendFault(class int) (lost bool, extraNs float64) {
 // PoolDownAt reports whether the memory controller is crashed at virtual
 // time at; if it is, recoverAt is when the controller restarts.
 func (p *Plan) PoolDownAt(at sim.Time) (recoverAt sim.Time, down bool) {
-	if p == nil || p.Prof.PoolMeanUp <= 0 {
+	if p == nil || (p.Prof.PoolMeanUp <= 0 && !p.static) {
 		return 0, false
 	}
 	p.extendSchedule(at)
@@ -181,6 +222,9 @@ func (p *Plan) PoolDownAt(at sim.Time) (recoverAt sim.Time, down bool) {
 
 // extendSchedule generates crash windows until the schedule covers at.
 func (p *Plan) extendSchedule(at sim.Time) {
+	if p.static {
+		return
+	}
 	mu, md := p.Prof.PoolMeanUp, p.Prof.PoolMeanDown
 	if md <= 0 {
 		md = sim.Millisecond
@@ -205,6 +249,23 @@ func (p *Plan) CtxCrash() bool {
 		return true
 	}
 	return false
+}
+
+// CtxCrashMid decides whether one pushdown's temporary context crashes
+// mid-execution, after the pushed function has begun dirtying pages; frac
+// in [0,1) positions the crash point within the call (the runtime maps it
+// onto a page-access ordinal). A crash armed here may still not fire — the
+// function can finish before reaching the crash point — so CtxMidCrashes
+// counts armings; the runtime's Rollbacks counter counts actual fires.
+func (p *Plan) CtxCrashMid() (frac float64, crash bool) {
+	if p == nil || p.Prof.CtxCrashMidProb <= 0 {
+		return 0, false
+	}
+	if !p.ctxMid.Bernoulli(p.Prof.CtxCrashMidProb) {
+		return 0, false
+	}
+	p.c.CtxMidCrashes++
+	return p.ctxMid.Float64(), true
 }
 
 // SSDReadError decides whether one SSD page read fails.

@@ -52,21 +52,33 @@ func FlakySSD() Profile {
 	}
 }
 
+// MidCrash crashes ~25% of pushdown contexts mid-execution, after they have
+// begun dirtying pages in the memory pool, forcing the undo-journal rollback
+// path before every retry or fallback.
+func MidCrash() Profile {
+	return Profile{
+		Name:            "mid-crash",
+		Description:     "25% of pushdown contexts crash mid-execution (undo-log rollback)",
+		CtxCrashMidProb: 0.25,
+	}
+}
+
 // Chaos combines every fault kind at once.
 func Chaos() Profile {
 	p := FlakyNet()
 	p.Name = "chaos"
-	p.Description = "flaky-net + controller crashes + context crashes + SSD errors"
+	p.Description = "flaky-net + controller crashes + context crashes (pre-commit and mid-execution) + SSD errors"
 	p.PoolMeanUp = 25 * sim.Millisecond
 	p.PoolMeanDown = sim.Millisecond
 	p.CtxCrashProb = 0.03
+	p.CtxCrashMidProb = 0.05
 	p.SSDReadErrProb = 0.03
 	return p
 }
 
 // Profiles returns every shipped profile.
 func Profiles() []Profile {
-	return []Profile{FlakyNet(), CrashyPool(), FlakySSD(), Chaos()}
+	return []Profile{FlakyNet(), CrashyPool(), FlakySSD(), MidCrash(), Chaos()}
 }
 
 // ProfileNames lists the shipped profile names.

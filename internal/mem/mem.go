@@ -186,6 +186,21 @@ func (s *Space) frame(p PageID) []byte {
 	return f
 }
 
+// SnapshotPage returns a copy of page p's current bytes — the pre-image the
+// pushdown undo journal captures before a page's first write. A page never
+// touched reads as zeroes, exactly as ReadAt would see it.
+func (s *Space) SnapshotPage(p PageID) []byte {
+	img := make([]byte, PageSize)
+	copy(img, s.frame(p))
+	return img
+}
+
+// RestorePage overwrites page p with a previously captured snapshot,
+// rolling every byte of the page back to its SnapshotPage state.
+func (s *Space) RestorePage(p PageID, img []byte) {
+	copy(s.frame(p), img)
+}
+
 // ReadAt copies len(buf) bytes starting at addr into buf, crossing page
 // boundaries as needed.
 func (s *Space) ReadAt(addr Addr, buf []byte) {

@@ -30,6 +30,10 @@ type Exec struct {
 	// PushFlags are passed to every pushdown call.
 	PushFlags core.Flags
 
+	// PushDeadline is the per-attempt virtual-time budget passed to every
+	// pushdown call (core.Options.Deadline); zero means no budget.
+	PushDeadline sim.Time
+
 	// Policy is the recovery policy applied to every pushdown: recoverable
 	// failures (cancellation, pool crashes, context crashes) are retried and
 	// then degraded to local execution, so a chaos run still computes the
@@ -102,7 +106,8 @@ func (ex *Exec) Run(name string, fn func(env *ddc.Env)) {
 		// function or a remote panic — surface, and those are bugs in the
 		// operator, not the platform.
 		var err error
-		_, pushed, err = ex.RT.PushdownWithPolicy(ex.T, fn, core.Options{Flags: ex.PushFlags}, ex.Policy)
+		_, pushed, err = ex.RT.PushdownWithPolicy(ex.T, fn,
+			core.Options{Flags: ex.PushFlags, Deadline: ex.PushDeadline}, ex.Policy)
 		if err != nil {
 			panic("profile: pushdown failed: " + err.Error())
 		}

@@ -35,6 +35,13 @@ const (
 	KindPoolRecover   // heartbeat observed the memory controller back up
 	KindFallbackLocal // recovery policy ran a pushdown in the compute pool
 
+	// Crash-consistency and overload events.
+	KindPushRollback    // undo journal rolled back after a mid-execution abort (Arg: pages restored)
+	KindShed            // admission control rejected a pushdown (workqueue full)
+	KindBreakerOpen     // circuit breaker opened (consecutive recoverable failures)
+	KindBreakerHalfOpen // breaker cooldown elapsed; one probe allowed through
+	KindBreakerClose    // probe succeeded; breaker closed
+
 	// Span kinds recorded by the Tracer (begin/end pairs).
 	KindRPC           // one fabric Send/RoundTrip (Arg: traffic class)
 	KindSSDRead       // one device page-in
@@ -53,6 +60,7 @@ var kindNames = [numKinds]string{
 	"pushdown-start", "pushdown-end", "eviction", "sync",
 	"fault-injected", "rpc-retry", "pool-crash", "pool-recover",
 	"fallback-local",
+	"push-rollback", "shed", "breaker-open", "breaker-half", "breaker-close",
 	"rpc", "ssd-read", "ssd-write", "pushdown", "push-queue",
 	"push-setup", "push-exec", "push-sync", "push-retry-wait",
 }
