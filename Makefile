@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke chaos-soak
+.PHONY: build test race lint fuzz-smoke chaos-soak bench
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,19 @@ SOAK_ARTIFACTS ?= soak-artifacts
 chaos-soak:
 	CHAOS_SOAK=1 CHAOS_SOAK_ARTIFACTS=$(SOAK_ARTIFACTS) \
 		$(GO) test ./internal/bench -run TestChaosSoak -v -timeout 30m
+
+# Host benchmark: regenerate the figure suite timed and write the host
+# performance report (per-figure wall-clock ns + heap allocations).
+# BENCH_5.json is the tracked baseline, produced by this target at the
+# reduced scale below; CI's bench-smoke job reruns it and fails on a >25%
+# wall-clock regression. Refresh the baseline (make bench, commit the
+# file) whenever the suite's host cost legitimately changes.
+BENCH_OUT ?= BENCH_5.json
+BENCH_BASELINE ?=
+BENCH_FLAGS ?= -scale 0.5 -graph-nv 15000 -words 60000 -quiet
+bench:
+	$(GO) run ./cmd/teleport-bench $(BENCH_FLAGS) -bench-out $(BENCH_OUT) \
+		$(if $(BENCH_BASELINE),-bench-baseline $(BENCH_BASELINE))
 
 # Short fuzz pass over the §6 resident-page-list codec; CI runs this on
 # every push, longer runs are manual (go test -fuzz=Fuzz ./internal/netmodel).

@@ -8,6 +8,11 @@
 //	ddcsim -workload SSSP -platform teleport -scale 4
 //	ddcsim -workload Q6 -platform teleport -report
 //	ddcsim -workload Q6 -platform teleport -trace-out q6.json -metrics-out q6-metrics.json
+//	ddcsim -workload Q9,Q3,Q6 -platform teleport -parallel 4
+//
+// A comma-separated -workload list runs the workloads concurrently across
+// host cores (bounded by -parallel); results print in list order and are
+// bit-identical to sequential runs.
 package main
 
 import (
@@ -25,7 +30,8 @@ import (
 func main() {
 	defaults := bench.Defaults()
 	var (
-		workload   = flag.String("workload", "Q6", "one of "+strings.Join(bench.WorkloadNames(), ", "))
+		workload   = flag.String("workload", "Q6", "comma-separated list from "+strings.Join(bench.WorkloadNames(), ", "))
+		parallel   = flag.Int("parallel", 0, "concurrent workloads on the host: 0 = one per core (GOMAXPROCS), 1 = sequential, n = n workers")
 		platform   = flag.String("platform", "base-ddc", "one of "+strings.Join(bench.PlatformNames(), ", "))
 		scale      = flag.Float64("scale", defaults.Scale, "TPC-H micro scale factor")
 		graphNV    = flag.Int("graph-nv", defaults.GraphNV, "graph vertex count")
@@ -62,6 +68,29 @@ func main() {
 		PushDeadline:     sim.FromNs(*deadlineUs * 1e3),
 		BreakerThreshold: *brThresh,
 		BreakerCooldown:  sim.FromNs(*brCoolUs * 1e3),
+		Parallel:         *parallel,
+	}
+	names := strings.Split(*workload, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	if len(names) > 1 {
+		if *advise || traceCap > 0 || *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "ddcsim: -advise/-trace*/-metrics-out need a single -workload")
+			os.Exit(1)
+		}
+		results, err := bench.RunWorkloads(names, *platform, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i, res := range results {
+			if i > 0 {
+				fmt.Println()
+			}
+			printResult(res, *report)
+		}
+		return
 	}
 	if *advise {
 		decisions, err := bench.Advise(*workload, opts)
@@ -75,24 +104,12 @@ func main() {
 		}
 		return
 	}
-	res, err := bench.RunWorkload(*workload, *platform, opts)
+	res, err := bench.RunWorkload(names[0], *platform, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s on %s: %.6f s (virtual)\n\n", res.Workload, res.Platform, res.Seconds)
-	fmt.Printf("  %-14s %12s %10s %12s %8s\n", "operator", "time(s)", "calls", "remote(KB)", "pushed")
-	for _, o := range res.Profile {
-		fmt.Printf("  %-14s %12.6f %10d %12.1f %8v\n",
-			o.Name, o.Time.Seconds(), o.Calls, float64(o.RemoteByte)/1024, o.Pushed)
-	}
-	if *report && res.Report != nil {
-		fmt.Println()
-		res.Report.Fprint(os.Stdout)
-	}
-	if res.Fault != nil {
-		fmt.Printf("\n%s\n", res.Fault)
-	}
+	printResult(res, *report)
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err == nil {
@@ -140,5 +157,23 @@ func main() {
 		for _, e := range res.Trace {
 			fmt.Println(" ", e)
 		}
+	}
+}
+
+// printResult renders one workload execution: the virtual-time summary, the
+// per-operator profile, and (optionally) the attribution report.
+func printResult(res bench.WorkloadResult, report bool) {
+	fmt.Printf("%s on %s: %.6f s (virtual)\n\n", res.Workload, res.Platform, res.Seconds)
+	fmt.Printf("  %-14s %12s %10s %12s %8s\n", "operator", "time(s)", "calls", "remote(KB)", "pushed")
+	for _, o := range res.Profile {
+		fmt.Printf("  %-14s %12.6f %10d %12.1f %8v\n",
+			o.Name, o.Time.Seconds(), o.Calls, float64(o.RemoteByte)/1024, o.Pushed)
+	}
+	if report && res.Report != nil {
+		fmt.Println()
+		res.Report.Fprint(os.Stdout)
+	}
+	if res.Fault != nil {
+		fmt.Printf("\n%s\n", res.Fault)
 	}
 }

@@ -7,10 +7,15 @@
 //	teleport-bench -fig 13              # one figure
 //	teleport-bench -fig 6,7,20          # several
 //	teleport-bench -scale 4 -seed 7     # bigger workloads
+//	teleport-bench -parallel 1          # force sequential data points
+//	teleport-bench -bench-out BENCH_5.json             # host benchmark report
+//	teleport-bench -bench-out b.json -bench-baseline BENCH_5.json
 //
 // Output is the same rows/series the paper reports; absolute values reflect
 // the scaled-down datasets (see DESIGN.md's scale rule and EXPERIMENTS.md
-// for the committed paper-vs-measured record).
+// for the committed paper-vs-measured record). Figure data points fan out
+// across host cores by default; the virtual-time results are bit-identical
+// at every -parallel setting.
 package main
 
 import (
@@ -31,7 +36,13 @@ func main() {
 		words     = flag.Int("words", defaults.Words, "MapReduce corpus size in tokens")
 		seed      = flag.Int64("seed", defaults.Seed, "generator seed")
 		cacheFrac = flag.Float64("cache-frac", defaults.CacheFrac, "compute-local cache as a fraction of the working set")
+		parallel  = flag.Int("parallel", 0, "concurrent figure data points on the host: 0 = one per core (GOMAXPROCS), 1 = sequential, n = n workers")
 		list      = flag.Bool("list", false, "list figure ids and exit")
+
+		benchOut  = flag.String("bench-out", "", "run the whole suite timed and write the host benchmark report (wall-clock + allocs per figure) to this file")
+		baseline  = flag.String("bench-baseline", "", "compare the report against this tracked baseline and fail on regression")
+		tolerance = flag.Float64("bench-tolerance", 0.25, "allowed wall-clock regression vs the baseline (0.25 = 25%)")
+		quiet     = flag.Bool("quiet", false, "suppress the figure tables (useful with -bench-out)")
 	)
 	flag.Parse()
 
@@ -45,9 +56,48 @@ func main() {
 		Words:     *words,
 		Seed:      *seed,
 		CacheFrac: *cacheFrac,
+		Parallel:  *parallel,
 	}
-	fmt.Printf("# teleport-bench scale=%g graph-nv=%d words=%d seed=%d cache-frac=%g\n\n",
-		opts.Scale, opts.GraphNV, opts.Words, opts.Seed, opts.CacheFrac)
+	if !*quiet {
+		fmt.Printf("# teleport-bench scale=%g graph-nv=%d words=%d seed=%d cache-frac=%g\n\n",
+			opts.Scale, opts.GraphNV, opts.Words, opts.Seed, opts.CacheFrac)
+	}
+
+	if *benchOut != "" {
+		tables, rep := bench.RunAllTimed(opts)
+		if !*quiet {
+			for _, t := range tables {
+				t.Fprint(os.Stdout)
+			}
+		}
+		f, err := os.Create(*benchOut)
+		if err == nil {
+			err = rep.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: suite took %.2fs wall (%d workers, gomaxprocs %d), %d mallocs; wrote %s\n",
+			float64(rep.TotalWallNs)/1e9, rep.Workers, rep.GoMaxProcs, rep.TotalMallocs, *benchOut)
+		if *baseline != "" {
+			base, err := bench.ReadHostReport(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench-baseline:", err)
+				os.Exit(1)
+			}
+			if err := rep.CompareBaseline(base, *tolerance); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "bench: within %.0f%% of baseline %s (%.2fs)\n",
+				*tolerance*100, *baseline, float64(base.TotalWallNs)/1e9)
+		}
+		return
+	}
 
 	if *fig == "all" {
 		for _, t := range bench.RunAll(opts) {

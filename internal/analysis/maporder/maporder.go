@@ -93,6 +93,14 @@ func checkMapRange(pass *analysis.Pass, fn *ast.BlockStmt, rng *ast.RangeStmt) {
 			pass.Report(rng.Pos(),
 				"map iteration order is random: this loop sends on a channel per key; iterate sorted keys instead")
 			return true
+		case *ast.GoStmt:
+			// Worker fan-out from a map range: the goroutines launch — and
+			// therefore acquire pool tokens, emit results, and contend —
+			// in a different order every run. Deterministic harnesses
+			// (internal/bench's parmap) fan out over index-ordered slices.
+			pass.Report(rng.Pos(),
+				"map iteration order is random: this loop launches a goroutine per key, so spawn and result order change every run; build a sorted job slice first (or //lint:allow maporder <reason>)")
+			return true
 		case *ast.CallExpr:
 			if name, bad := observableCall(pass, n); bad {
 				pass.Reportf(rng.Pos(),

@@ -58,3 +58,21 @@ func getterLoop(m map[string]*trace.Ring) int {
 	}
 	return n
 }
+
+// Worker fan-out is fine over an index-ordered job slice: spawn order is
+// deterministic and each result lands in its own slot.
+func goSorted(m map[string]int) []string {
+	keys := sortedKeys(m)
+	out := make([]string, len(keys))
+	done := make(chan struct{})
+	for i, k := range keys {
+		go func(slot int, key string) {
+			out[slot] = key
+			done <- struct{}{}
+		}(i, k)
+	}
+	for range keys {
+		<-done
+	}
+	return out
+}

@@ -36,3 +36,13 @@ func sendLoop(m map[string]int, ch chan string) {
 		ch <- k
 	}
 }
+
+func goLoop(m map[string]int, results []string) {
+	i := 0
+	for k := range m { // want `launches a goroutine per key`
+		go func(slot int, key string) {
+			results[slot] = key
+		}(i, k)
+		i++
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"teleport/internal/ddc"
 	"teleport/internal/mem"
@@ -71,6 +72,18 @@ type Options struct {
 	// BreakerCooldown overrides the breaker's open → half-open cooldown
 	// (0 keeps the default).
 	BreakerCooldown sim.Time
+
+	// Parallel bounds how many figure data points simulate concurrently on
+	// the host: 0 uses one worker per host core (GOMAXPROCS), 1 forces
+	// sequential execution, n>1 uses n workers. Every run is hermetic, so
+	// parallelism affects host wall-clock only — tables, virtual times and
+	// counters are bit-identical at any setting (see parallel.go).
+	Parallel int
+
+	// pool is the shared worker-token channel; Options is copied by value,
+	// so every figure and leaf job sees the same channel. Created by
+	// withPool at the Run/RunAll entry points.
+	pool chan struct{}
 }
 
 // Defaults returns the options used by the committed EXPERIMENTS.md run.
@@ -161,15 +174,31 @@ func Run(id string, opts Options) (*Table, error) {
 		sort.Strings(sorted)
 		return nil, fmt.Errorf("bench: unknown figure %q (have %s)", id, strings.Join(sorted, ", "))
 	}
-	return r(opts), nil
+	return r(opts.withPool()), nil
 }
 
-// RunAll regenerates every figure in order.
+// RunAll regenerates every figure. Figures execute concurrently when the
+// options allow parallelism (their data points share one bounded worker
+// pool), but the returned slice is always in registration order, and every
+// table is bit-identical to a sequential run.
 func RunAll(opts Options) []*Table {
-	out := make([]*Table, 0, len(registryOrder))
-	for _, id := range registryOrder {
-		out = append(out, registry[id](opts))
+	opts = opts.withPool()
+	out := make([]*Table, len(registryOrder))
+	if opts.pool == nil {
+		for i, id := range registryOrder {
+			out[i] = registry[id](opts)
+		}
+		return out
 	}
+	var wg sync.WaitGroup
+	for i, id := range registryOrder {
+		wg.Add(1)
+		go func(i int, r Runner) {
+			defer wg.Done()
+			out[i] = r(opts)
+		}(i, registry[id])
+	}
+	wg.Wait()
 	return out
 }
 

@@ -41,15 +41,23 @@ func figFabric(opts Options) *Table {
 		{"CXL-class", 250, 32},
 	}
 	w := findWorkload("Q9")
+	var jobs []func() sim.Time
 	for _, f := range fabrics {
 		mut := func(cfg *hw.Config) {
 			cfg.NetLatencyNs = f.latNs
 			cfg.NetBandwidthGBs = f.gbs
 		}
-		base := run(w, opts, runSpec{platform: platBase, hwMut: mut})
-		tele := run(w, opts, runSpec{platform: platTeleport, hwMut: mut})
+		for _, p := range []platform{platBase, platTeleport} {
+			jobs = append(jobs, func() sim.Time {
+				return run(w, opts, runSpec{platform: p, hwMut: mut}).Time
+			})
+		}
+	}
+	times := parmap(opts, jobs)
+	for i, f := range fabrics {
+		base, tele := times[i*2], times[i*2+1]
 		t.AddRow(f.name, fmt.Sprintf("%.1fµs", f.latNs/1000), fmt.Sprintf("%.0fGB/s", f.gbs),
-			fm(base.Time), fm(tele.Time), fx(ratio(base.Time, tele.Time)))
+			fm(base), fm(tele), fx(ratio(base, tele)))
 	}
 	t.Notes = append(t.Notes,
 		"ablation beyond the paper: pushdown's benefit shrinks with faster fabrics but persists while fabric latency >> DRAM latency")
@@ -68,8 +76,16 @@ func figRLE(opts Options) *Table {
 		Header: []string{"cache", "resident-pages", "raw(bytes)", "rle(bytes)", "reduction"},
 	}
 	w := findWorkload("Q6")
-	for _, frac := range []float64{0.02, 0.05, 0.10, 0.25} {
-		out := run(w, opts, runSpec{platform: platBase, cacheFrac: frac})
+	fracs := []float64{0.02, 0.05, 0.10, 0.25}
+	var jobs []func() runOut
+	for _, frac := range fracs {
+		jobs = append(jobs, func() runOut {
+			return run(w, opts, runSpec{platform: platBase, cacheFrac: frac})
+		})
+	}
+	outs := parmap(opts, jobs)
+	for i, frac := range fracs {
+		out := outs[i]
 		var entries []netmodel.PageEntry
 		out.Proc.Cache.Range(func(pg mem.PageID, writable, _ bool) bool {
 			entries = append(entries, netmodel.PageEntry{ID: uint64(pg), Writable: writable})
@@ -103,14 +119,25 @@ func figPrefetch(opts Options) *Table {
 		Header: []string{"config", "time(s)", "speedup-vs-no-prefetch"},
 	}
 	w := findWorkload("Q6")
-	none := run(w, opts, runSpec{platform: platBase, prefetch: ptrInt(0)})
-	t.AddRow("depth 0 (no prefetch)", fm(none.Time), fx(1))
-	for _, depth := range []int{1, 2, 4, 8} {
-		out := run(w, opts, runSpec{platform: platBase, prefetch: ptrInt(depth)})
-		t.AddRow(fmt.Sprintf("depth %d", depth), fm(out.Time), fx(ratio(none.Time, out.Time)))
+	depths := []int{1, 2, 4, 8}
+	jobs := []func() sim.Time{
+		func() sim.Time {
+			return run(w, opts, runSpec{platform: platBase, prefetch: ptrInt(0)}).Time
+		},
+		func() sim.Time { return run(w, opts, runSpec{platform: platTeleport}).Time },
 	}
-	tele := run(w, opts, runSpec{platform: platTeleport})
-	t.AddRow("TELEPORT (depth 2)", fm(tele.Time), fx(ratio(none.Time, tele.Time)))
+	for _, depth := range depths {
+		jobs = append(jobs, func() sim.Time {
+			return run(w, opts, runSpec{platform: platBase, prefetch: ptrInt(depth)}).Time
+		})
+	}
+	times := parmap(opts, jobs)
+	none, tele := times[0], times[1]
+	t.AddRow("depth 0 (no prefetch)", fm(none), fx(1))
+	for i, depth := range depths {
+		t.AddRow(fmt.Sprintf("depth %d", depth), fm(times[i+2]), fx(ratio(none, times[i+2])))
+	}
+	t.AddRow("TELEPORT (depth 2)", fm(tele), fx(ratio(none, tele)))
 	t.Notes = append(t.Notes,
 		"prefetching helps scans but plateaus well short of pushdown — the §1 claim that OS optimisations alone are insufficient")
 	return t
@@ -157,11 +184,17 @@ func figWorkerScaling(opts Options) *Table {
 		return makespan
 	}
 	ms := func(d sim.Time) string { return fmt.Sprintf("%.3fms", d.Millis()) }
-	for _, workers := range []int{1, 2, 4, 8, 16} {
+	workerCounts := []int{1, 2, 4, 8, 16}
+	var jobs []func() sim.Time
+	for _, workers := range workerCounts {
+		for _, p := range []platform{platLocal, platBase, platTeleport} {
+			jobs = append(jobs, func() sim.Time { return runPlat(p, workers) })
+		}
+	}
+	times := parmap(opts, jobs)
+	for i, workers := range workerCounts {
 		t.AddRow(fmt.Sprintf("%d", workers),
-			ms(runPlat(platLocal, workers)),
-			ms(runPlat(platBase, workers)),
-			ms(runPlat(platTeleport, workers)))
+			ms(times[i*3]), ms(times[i*3+1]), ms(times[i*3+2]))
 	}
 	t.Notes = append(t.Notes,
 		"compute workers scale freely (§2.1 elasticity); TELEPORT's gain saturates at the memory pool's 2 user contexts (§7.3)")

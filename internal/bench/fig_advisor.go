@@ -5,6 +5,7 @@ import (
 
 	"teleport/internal/advisor"
 	"teleport/internal/hw"
+	"teleport/internal/sim"
 )
 
 func init() {
@@ -23,11 +24,31 @@ func figAdvisor(opts Options) *Table {
 		Header: []string{"query", "strategy", "ops-pushed", "time(s)", "speedup-vs-base"},
 	}
 	hwCfg := hw.Testbed()
-	for _, q := range []string{"Q9", "Q3", "Q6"} {
-		w := findWorkload(q)
-		base := run(w, opts, runSpec{platform: platBase})
+	queries := []string{"Q9", "Q3", "Q6"}
 
-		// The advisor profiles the base-DDC run, like a DBA would.
+	// Stage 1: the base-DDC profiling runs (the advisor profiles these,
+	// like a DBA would). Everything downstream depends on the profiles.
+	var baseJobs []func() runOut
+	for _, q := range queries {
+		w := findWorkload(q)
+		baseJobs = append(baseJobs, func() runOut {
+			return run(w, opts, runSpec{platform: platBase})
+		})
+	}
+	bases := parmap(opts, baseJobs)
+
+	// Stage 2: derive each query's strategies and fan their runs out.
+	type strategy struct {
+		name string
+		ops  []string
+	}
+	perQuery := make([][]strategy, len(queries))
+	var jobs []func() sim.Time
+	jobIdx := make([][]int, len(queries)) // index into times, -1 = reuse base
+	for qi, q := range queries {
+		w := findWorkload(q)
+		base := bases[qi]
+
 		threshCfg := advisor.DefaultConfig()
 		threshCfg.ThresholdRMps = 80_000 // the paper's 80K RM/s split (§7.4)
 		threshPush, _ := advisor.Recommend(base.Profile, threshCfg, &hwCfg)
@@ -41,20 +62,33 @@ func figAdvisor(opts Options) *Table {
 			allOps = append(allOps, o.Name)
 		}
 
-		strategies := []struct {
-			name string
-			ops  []string
-		}{
+		perQuery[qi] = []strategy{
 			{"hand-picked (paper §7.1)", w.PushOps},
 			{"advisor threshold", threshPush},
 			{"advisor cost model", costPush},
 			{"push everything", allOps},
 		}
+		for _, s := range perQuery[qi] {
+			if len(s.ops) == 0 {
+				jobIdx[qi] = append(jobIdx[qi], -1)
+				continue
+			}
+			ops := s.ops
+			jobIdx[qi] = append(jobIdx[qi], len(jobs))
+			jobs = append(jobs, func() sim.Time {
+				return run(w, opts, runSpec{platform: platTeleport, pushOps: ops}).Time
+			})
+		}
+	}
+	times := parmap(opts, jobs)
+
+	for qi, q := range queries {
+		base := bases[qi]
 		t.AddRow(q, "base DDC (none)", "0", fm(base.Time), fx(1))
-		for _, s := range strategies {
-			var tm = base.Time
-			if len(s.ops) > 0 {
-				tm = run(w, opts, runSpec{platform: platTeleport, pushOps: s.ops}).Time
+		for si, s := range perQuery[qi] {
+			tm := base.Time
+			if j := jobIdx[qi][si]; j >= 0 {
+				tm = times[j]
 			}
 			t.AddRow("", s.name,
 				strings.Join(shorten(s.ops), ","), fm(tm), fx(ratio(base.Time, tm)))

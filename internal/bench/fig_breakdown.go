@@ -28,10 +28,21 @@ func fig10(opts Options) *Table {
 		Title:  "Per-operator breakdown: local vs base DDC, with remote traffic",
 		Header: []string{"system", "operator", "local(s)", "ddc(s)", "remote(MB)", "wire(s)"},
 	}
-	for _, name := range []string{"Q9", "SSSP", "WC"} {
+	names := []string{"Q9", "SSSP", "WC"}
+	var jobs []func() runOut
+	for _, name := range names {
 		w := findWorkload(name)
-		local := newReport(name, "local", run(w, opts, runSpec{platform: platLocal}))
-		base := newReport(name, "base-ddc", run(w, opts, runSpec{platform: platBase}))
+		for _, p := range []platform{platLocal, platBase} {
+			jobs = append(jobs, func() runOut {
+				return run(w, opts, runSpec{platform: p})
+			})
+		}
+	}
+	outs := parmap(opts, jobs)
+	for i, name := range names {
+		w := findWorkload(name)
+		local := newReport(name, "local", outs[i*2])
+		base := newReport(name, "base-ddc", outs[i*2+1])
 		localBy := map[string]int64{}
 		for _, o := range local.Ops {
 			localBy[o.Name] = o.Ns
@@ -148,8 +159,12 @@ func fig20(opts Options) *Table {
 		t.AddRow(name, msf(st.PreSync), msf(st.Request), msf(st.Queue+st.CtxSetup),
 			msf(st.OnlineSync), msf(st.Response), msf(st.PostSync), msf(st.Overhead()))
 	}
-	add("Eager sync", runMethod(core.FlagEagerSync))
-	add("On-demand sync", runMethod(core.FlagDefault))
+	stats := parmap(opts, []func() core.RuntimeStats{
+		func() core.RuntimeStats { return runMethod(core.FlagEagerSync) },
+		func() core.RuntimeStats { return runMethod(core.FlagDefault) },
+	})
+	add("Eager sync", stats[0])
+	add("On-demand sync", stats[1])
 	t.Notes = append(t.Notes,
 		"paper: eager ≈3.5s dominated by pre/post page-by-page transfers; on-demand ≈0.3s dominated by page-table setup")
 	return t

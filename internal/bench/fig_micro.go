@@ -209,14 +209,13 @@ func maxI(a, b int) int {
 // fig6 reproduces Figure 6: the data-synchronisation ablation on the
 // two-thread microbenchmark (paper: naive per-process 2.9×, per-thread
 // 3.8×, on-demand coherence 11× over the base DDC).
-func fig6(Options) *Table {
+func fig6(opts Options) *Table {
 	t := &Table{
 		Figure: "Fig 6",
 		Title:  "Two-thread microbenchmark: data-sync ablation",
 		Header: []string{"system", "makespan(s)", "speedup-vs-base"},
 	}
 	mp := defaultMicro()
-	base := runMicro(microBase, mp)
 	rows := []struct {
 		name string
 		mode microMode
@@ -227,8 +226,14 @@ func fig6(Options) *Table {
 		{"TELEPORT (per thread)", microEvictThread},
 		{"TELEPORT (coherence)", microCoherence},
 	}
+	var jobs []func() microResult
 	for _, r := range rows {
-		res := runMicro(r.mode, mp)
+		jobs = append(jobs, func() microResult { return runMicro(r.mode, mp) })
+	}
+	results := parmap(opts, jobs)
+	base := results[1] // the Base DDC row doubles as the speedup baseline
+	for i, r := range rows {
+		res := results[i]
 		t.AddRow(r.name, fm(res.Makespan), fx(ratio(base.Makespan, res.Makespan)))
 	}
 	t.Notes = append(t.Notes, "paper: per-process 2.9x, per-thread 3.8x, coherence 11x")
@@ -239,7 +244,7 @@ func fig6(Options) *Table {
 // to distinct variables on the same pages). With the default coherence the
 // pages ping-pong; disabling coherence and synchronising manually with
 // syncmem restores the gains (paper: 4.6× vs 11×).
-func fig7(Options) *Table {
+func fig7(opts Options) *Table {
 	t := &Table{
 		Figure: "Fig 7",
 		Title:  "False sharing: default coherence vs manual syncmem",
@@ -248,14 +253,19 @@ func fig7(Options) *Table {
 	mp := defaultMicro()
 	mp.sharedPages = 16
 	mp.contention = 0.02 // the threads' variables share pages and are hot
-	base := runMicro(microBase, mp)
+	mpSync := mp
+	mpSync.syncShared = true
+	results := parmap(opts, []func() microResult{
+		func() microResult { return runMicro(microBase, mp) },
+		func() microResult { return runMicro(microLocal, mp) },
+		func() microResult { return runMicro(microCoherence, mp) },
+		func() microResult { return runMicro(microCoherence, mpSync) },
+	})
+	base, local, coh, syn := results[0], results[1], results[2], results[3]
 
-	t.AddRow("Local execution", fm(runMicro(microLocal, mp).Makespan), "")
+	t.AddRow("Local execution", fm(local.Makespan), "")
 	t.AddRow("Base DDC", fm(base.Makespan), fx(1))
-	coh := runMicro(microCoherence, mp)
 	t.AddRow("TELEPORT (coherence)", fm(coh.Makespan), fx(ratio(base.Makespan, coh.Makespan)))
-	mp.syncShared = true
-	syn := runMicro(microCoherence, mp)
 	t.AddRow("TELEPORT (syncmem)", fm(syn.Makespan), fx(ratio(base.Makespan, syn.Makespan)))
 	t.Notes = append(t.Notes, "paper: coherence 4.6x, syncmem 11x over base DDC")
 	return t
@@ -268,24 +278,31 @@ var contentionRates = []float64{0.000001, 0.00001, 0.0001, 0.001, 0.01}
 // rate between the compute-pool thread and the pushed thread rises (paper:
 // local and base DDC flat; TELEPORT default degrades above 0.1%; the Weak
 // Ordering relaxation stays flat).
-func fig21(Options) *Table {
+func fig21(opts Options) *Table {
 	t := &Table{
 		Figure: "Fig 21",
 		Title:  "Execution time vs contention rate",
 		Header: []string{"contention", "local(s)", "base-ddc(s)", "teleport-default(s)", "teleport-pso(s)", "teleport-relaxed(s)"},
 	}
+	var jobs []func() microResult
 	for _, r := range contentionRates {
 		mp := defaultMicro()
 		mp.sharedPages = 8
 		mp.contention = r
-		local := runMicro(microLocal, mp)
-		base := runMicro(microBase, mp)
-		def := runMicro(microCoherence, mp)
-		mp.pso = true
-		pso := runMicro(microCoherence, mp)
-		mp.pso = false
-		mp.syncShared = true
-		rel := runMicro(microCoherence, mp)
+		mpPSO := mp
+		mpPSO.pso = true
+		mpRel := mp
+		mpRel.syncShared = true
+		jobs = append(jobs,
+			func() microResult { return runMicro(microLocal, mp) },
+			func() microResult { return runMicro(microBase, mp) },
+			func() microResult { return runMicro(microCoherence, mp) },
+			func() microResult { return runMicro(microCoherence, mpPSO) },
+			func() microResult { return runMicro(microCoherence, mpRel) })
+	}
+	results := parmap(opts, jobs)
+	for i, r := range contentionRates {
+		local, base, def, pso, rel := results[i*5], results[i*5+1], results[i*5+2], results[i*5+3], results[i*5+4]
 		t.AddRow(fmt.Sprintf("%.4f%%", r*100),
 			fm(local.Makespan), fm(base.Makespan), fm(def.Makespan), fm(pso.Makespan), fm(rel.Makespan))
 	}
@@ -296,19 +313,26 @@ func fig21(Options) *Table {
 
 // fig22 reproduces Figure 22: the number of coherence messages under the
 // same sweep (paper: default grows with contention; relaxed constant).
-func fig22(Options) *Table {
+func fig22(opts Options) *Table {
 	t := &Table{
 		Figure: "Fig 22",
 		Title:  "Coherence messages vs contention rate",
 		Header: []string{"contention", "default-msgs", "relaxed-msgs"},
 	}
+	var jobs []func() microResult
 	for _, r := range contentionRates {
 		mp := defaultMicro()
 		mp.sharedPages = 8
 		mp.contention = r
-		def := runMicro(microCoherence, mp)
-		mp.syncShared = true
-		rel := runMicro(microCoherence, mp)
+		mpRel := mp
+		mpRel.syncShared = true
+		jobs = append(jobs,
+			func() microResult { return runMicro(microCoherence, mp) },
+			func() microResult { return runMicro(microCoherence, mpRel) })
+	}
+	results := parmap(opts, jobs)
+	for i, r := range contentionRates {
+		def, rel := results[i*2], results[i*2+1]
 		t.AddRow(fmt.Sprintf("%.4f%%", r*100),
 			fmt.Sprintf("%d", def.CoherenceMsgs), fmt.Sprintf("%d", rel.CoherenceMsgs))
 	}

@@ -29,19 +29,27 @@ func fig1a(opts Options) *Table {
 		Header: []string{"platform", "geomean-speedup"},
 	}
 	queries := []string{"Q9", "Q3", "Q6"}
-	geo := func(p platform) float64 {
+	plats := []platform{platLinuxSSD, platBase, platTeleport}
+	var jobs []func() sim.Time
+	for _, q := range queries {
+		w := findWorkload(q)
+		for _, p := range plats {
+			jobs = append(jobs, func() sim.Time {
+				return run(w, opts, runSpec{platform: p}).Time
+			})
+		}
+	}
+	times := parmap(opts, jobs)
+	geo := func(off int) float64 {
 		prod := 1.0
-		for _, q := range queries {
-			w := findWorkload(q)
-			ssd := run(w, opts, runSpec{platform: platLinuxSSD})
-			cur := run(w, opts, runSpec{platform: p})
-			prod *= ratio(ssd.Time, cur.Time)
+		for qi := range queries {
+			prod *= ratio(times[qi*len(plats)], times[qi*len(plats)+off])
 		}
 		return math.Cbrt(prod)
 	}
 	t.AddRow("NVMe SSD (Linux)", fx(1))
-	t.AddRow("Base DDC", fx(geo(platBase)))
-	t.AddRow("TELEPORT", fx(geo(platTeleport)))
+	t.AddRow("Base DDC", fx(geo(1)))
+	t.AddRow("TELEPORT", fx(geo(2)))
 	t.Notes = append(t.Notes, "paper: Base DDC 9.3x, TELEPORT 39.5x")
 	return t
 }
@@ -57,13 +65,23 @@ func fig1b(opts Options) *Table {
 		Header: []string{"system", "cost-of-scaling"},
 	}
 	queries := []string{"Q9", "Q3", "Q6"}
-	var sumLocal, sumBase, sumTele sim.Time
-	var bytes int64
+	var jobs []func() runOut
 	for _, q := range queries {
 		w := findWorkload(q)
-		local := run(w, opts, runSpec{platform: platLocal})
-		base := run(w, opts, runSpec{platform: platBase, cacheFrac: 0.10})
-		tele := run(w, opts, runSpec{platform: platTeleport, cacheFrac: 0.10})
+		specs := []runSpec{
+			{platform: platLocal},
+			{platform: platBase, cacheFrac: 0.10},
+			{platform: platTeleport, cacheFrac: 0.10},
+		}
+		for _, spec := range specs {
+			jobs = append(jobs, func() runOut { return run(w, opts, spec) })
+		}
+	}
+	outs := parmap(opts, jobs)
+	var sumLocal, sumBase, sumTele sim.Time
+	var bytes int64
+	for qi := range queries {
+		local, base, tele := outs[qi*3], outs[qi*3+1], outs[qi*3+2]
 		sumLocal += local.Time
 		sumBase += base.Time
 		sumTele += tele.Time
@@ -87,10 +105,19 @@ func fig3(opts Options) *Table {
 		Title:  "Base-DDC overhead vs local execution",
 		Header: []string{"system", "workload", "local(s)", "ddc(s)", "slowdown"},
 	}
-	for _, w := range allWorkloads() {
-		local := run(w, opts, runSpec{platform: platLocal})
-		base := run(w, opts, runSpec{platform: platBase})
-		t.AddRow(w.System, w.Name, fm(local.Time), fm(base.Time), fx(ratio(base.Time, local.Time)))
+	workloads := allWorkloads()
+	var jobs []func() sim.Time
+	for _, w := range workloads {
+		for _, p := range []platform{platLocal, platBase} {
+			jobs = append(jobs, func() sim.Time {
+				return run(w, opts, runSpec{platform: p}).Time
+			})
+		}
+	}
+	times := parmap(opts, jobs)
+	for i, w := range workloads {
+		local, base := times[i*2], times[i*2+1]
+		t.AddRow(w.System, w.Name, fm(local), fm(base), fx(ratio(base, local)))
 	}
 	t.Notes = append(t.Notes, "paper: slowdowns range 5x to 52.4x; Q9 worst")
 	return t
@@ -107,9 +134,12 @@ func fig12(opts Options) *Table {
 	w := tpchWorkload("QFilter", tpch.QFilterOps, func(ex *profile.Exec, d *tpch.Data) {
 		tpch.QFilter(ex, d, 1460)
 	})
-	local := run(w, opts, runSpec{platform: platLocal})
-	base := run(w, opts, runSpec{platform: platBase})
-	tele := run(w, opts, runSpec{platform: platTeleport})
+	outs := parmap(opts, []func() runOut{
+		func() runOut { return run(w, opts, runSpec{platform: platLocal}) },
+		func() runOut { return run(w, opts, runSpec{platform: platBase}) },
+		func() runOut { return run(w, opts, runSpec{platform: platTeleport}) },
+	})
+	local, base, tele := outs[0], outs[1], outs[2]
 
 	find := func(prof []profile.OpStat, name string) sim.Time {
 		for _, o := range prof {
@@ -136,14 +166,22 @@ func fig13(opts Options) *Table {
 		Title:  "Execution time normalised to local; TELEPORT speedup over base DDC",
 		Header: []string{"system", "workload", "base/local", "teleport/local", "speedup"},
 	}
-	for _, w := range allWorkloads() {
-		local := run(w, opts, runSpec{platform: platLocal})
-		base := run(w, opts, runSpec{platform: platBase})
-		tele := run(w, opts, runSpec{platform: platTeleport})
+	workloads := allWorkloads()
+	var jobs []func() sim.Time
+	for _, w := range workloads {
+		for _, p := range []platform{platLocal, platBase, platTeleport} {
+			jobs = append(jobs, func() sim.Time {
+				return run(w, opts, runSpec{platform: p}).Time
+			})
+		}
+	}
+	times := parmap(opts, jobs)
+	for i, w := range workloads {
+		local, base, tele := times[i*3], times[i*3+1], times[i*3+2]
 		t.AddRow(w.System, w.Name,
-			fx(ratio(base.Time, local.Time)),
-			fx(ratio(tele.Time, local.Time)),
-			fx(ratio(base.Time, tele.Time)))
+			fx(ratio(base, local)),
+			fx(ratio(tele, local)),
+			fx(ratio(base, tele)))
 	}
 	t.Notes = append(t.Notes,
 		"paper speedups: Q9 29.1x, Q3 3.2x, Q6 3.8x, SSSP 3x, RE 2.8x, CC 2x, WC 2.5x, Grep 4.7x")

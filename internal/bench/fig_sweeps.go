@@ -28,13 +28,21 @@ func fig14(opts Options) *Table {
 		Title:  "Query time with constrained local memory: Linux+SSD vs DDC vs TELEPORT",
 		Header: []string{"query", "linux-ssd(s)", "base-ddc(s)", "teleport(s)", "ddc-speedup", "teleport-speedup"},
 	}
-	for _, q := range []string{"Q9", "Q3", "Q6"} {
+	queries := []string{"Q9", "Q3", "Q6"}
+	var jobs []func() sim.Time
+	for _, q := range queries {
 		w := findWorkload(q)
-		ssd := run(w, opts, runSpec{platform: platLinuxSSD})
-		base := run(w, opts, runSpec{platform: platBase})
-		tele := run(w, opts, runSpec{platform: platTeleport})
-		t.AddRow(q, fm(ssd.Time), fm(base.Time), fm(tele.Time),
-			fx(ratio(ssd.Time, base.Time)), fx(ratio(ssd.Time, tele.Time)))
+		for _, p := range []platform{platLinuxSSD, platBase, platTeleport} {
+			jobs = append(jobs, func() sim.Time {
+				return run(w, opts, runSpec{platform: p}).Time
+			})
+		}
+	}
+	times := parmap(opts, jobs)
+	for i, q := range queries {
+		ssd, base, tele := times[i*3], times[i*3+1], times[i*3+2]
+		t.AddRow(q, fm(ssd), fm(base), fm(tele),
+			fx(ratio(ssd, base)), fx(ratio(ssd, tele)))
 	}
 	t.Notes = append(t.Notes, "paper: LegoOS 10x/65x/80x faster than SSD; TELEPORT 330x/210x/310x")
 	return t
@@ -65,15 +73,32 @@ func fig15(opts Options) *Table {
 		{"32% (64GB)", 0.32, true},
 		{"64% (128GB)", 0.64, false}, // exceeds the monolithic server
 	}
+	var jobs []func() sim.Time
+	for _, pt := range points {
+		if pt.linux {
+			jobs = append(jobs, func() sim.Time {
+				return run(w, big, runSpec{platform: platLinuxSSD, cacheFrac: pt.frac}).Time
+			})
+		}
+		jobs = append(jobs,
+			func() sim.Time {
+				return run(w, big, runSpec{platform: platBase, poolFrac: pt.frac}).Time
+			},
+			func() sim.Time {
+				return run(w, big, runSpec{platform: platTeleport, poolFrac: pt.frac}).Time
+			})
+	}
+	times := parmap(opts, jobs)
+	i := 0
 	for _, pt := range points {
 		linuxCell := "N/A"
 		if pt.linux {
-			l := run(w, big, runSpec{platform: platLinuxSSD, cacheFrac: pt.frac})
-			linuxCell = fm(l.Time)
+			linuxCell = fm(times[i])
+			i++
 		}
-		base := run(w, big, runSpec{platform: platBase, poolFrac: pt.frac})
-		tele := run(w, big, runSpec{platform: platTeleport, poolFrac: pt.frac})
-		t.AddRow(pt.label, linuxCell, fm(base.Time), fm(tele.Time))
+		base, tele := times[i], times[i+1]
+		i += 2
+		t.AddRow(pt.label, linuxCell, fm(base), fm(tele))
 	}
 	t.Notes = append(t.Notes,
 		"compute-local cache fixed at the default fraction; memory pool swept",
@@ -91,10 +116,20 @@ func fig16(opts Options) *Table {
 		Header: []string{"memory-clock(GHz)", "teleport(s)", "speedup-vs-base"},
 	}
 	w := findWorkload("Q9")
-	base := run(w, opts, runSpec{platform: platBase})
-	for _, clock := range []float64{0.4, 0.8, 1.2, 1.7, 2.1} {
-		tele := run(w, opts, runSpec{platform: platTeleport, memClock: clock})
-		t.AddRow(fmt.Sprintf("%.1f", clock), fm(tele.Time), fx(ratio(base.Time, tele.Time)))
+	clocks := []float64{0.4, 0.8, 1.2, 1.7, 2.1}
+	jobs := []func() sim.Time{
+		func() sim.Time { return run(w, opts, runSpec{platform: platBase}).Time },
+	}
+	for _, clock := range clocks {
+		jobs = append(jobs, func() sim.Time {
+			return run(w, opts, runSpec{platform: platTeleport, memClock: clock}).Time
+		})
+	}
+	times := parmap(opts, jobs)
+	base := times[0]
+	for i, clock := range clocks {
+		tele := times[i+1]
+		t.AddRow(fmt.Sprintf("%.1f", clock), fm(tele), fx(ratio(base, tele)))
 	}
 	t.Notes = append(t.Notes, "paper: 17x at 0.4GHz, levelling off at 29x above 1.7GHz")
 	return t
@@ -124,12 +159,14 @@ func fig17(opts Options) *Table {
 		}
 		return makespan
 	}
-	base := runWith(1)
+	var jobs []func() sim.Time
 	for contexts := 1; contexts <= 4; contexts++ {
-		tm := base
-		if contexts > 1 {
-			tm = runWith(contexts)
-		}
+		jobs = append(jobs, func() sim.Time { return runWith(contexts) })
+	}
+	times := parmap(opts, jobs)
+	base := times[0]
+	for contexts := 1; contexts <= 4; contexts++ {
+		tm := times[contexts-1]
 		t.AddRow(fmt.Sprintf("%d", contexts), fm(tm), fx(ratio(base, tm)))
 	}
 	t.Notes = append(t.Notes,
@@ -150,28 +187,54 @@ func fig18(opts Options) *Table {
 	}
 	w := findWorkload("Q9")
 	// Profiling run on the base DDC to rank operators by memory intensity.
-	prof := run(w, opts, runSpec{platform: platBase})
+	// Later data points depend on the ranking, so this one runs first.
+	prof := par1(opts, func() runOut { return run(w, opts, runSpec{platform: platBase}) })
 	ranked := rankByIntensity(prof.Profile)
 
 	levels := []struct {
 		label string
 		k     int
 	}{{"None", 0}, {"Top 1", 1}, {"Top 4", 4}, {"Top 6", 6}, {"All", len(ranked)}}
+	clockFracs := []float64{0.5, 0.25}
 
+	// The "no pushdown" baseline at each clock is a pure run reused for
+	// every level's speedup column.
+	var jobs []func() sim.Time
+	for _, clockFrac := range clockFracs {
+		clock := 2.1 * clockFrac
+		jobs = append(jobs, func() sim.Time {
+			return run(w, opts, runSpec{platform: platBase, memClock: clock}).Time
+		})
+	}
+	for _, lv := range levels {
+		if lv.k == 0 {
+			continue // the baseline runs above cover the "None" row
+		}
+		for _, clockFrac := range clockFracs {
+			clock := 2.1 * clockFrac
+			k := lv.k
+			jobs = append(jobs, func() sim.Time {
+				return run(w, opts, runSpec{
+					platform: platTeleport, memClock: clock, pushOps: ranked[:k],
+				}).Time
+			})
+		}
+	}
+	times := parmap(opts, jobs)
+	nones := times[:len(clockFracs)]
+	rest := times[len(clockFracs):]
+	i := 0
 	for _, lv := range levels {
 		row := []string{lv.label, fmt.Sprintf("%d", lv.k)}
-		for _, clockFrac := range []float64{0.5, 0.25} {
-			clock := 2.1 * clockFrac
+		for ci := range clockFracs {
 			var tm sim.Time
 			if lv.k == 0 {
-				tm = run(w, opts, runSpec{platform: platBase, memClock: clock}).Time
+				tm = nones[ci]
 			} else {
-				tm = run(w, opts, runSpec{
-					platform: platTeleport, memClock: clock, pushOps: ranked[:lv.k],
-				}).Time
+				tm = rest[i]
+				i++
 			}
-			none := run(w, opts, runSpec{platform: platBase, memClock: clock}).Time
-			row = append(row, fm(tm), fx(ratio(none, tm)))
+			row = append(row, fm(tm), fx(ratio(nones[ci], tm)))
 		}
 		t.AddRow(row...)
 	}

@@ -190,6 +190,34 @@ func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResul
 	return res, nil
 }
 
+// RunWorkloads executes several named workloads on one named platform —
+// concurrently across host cores when opts.Parallel allows — and returns
+// the results in input order. Each execution is hermetic, so the results
+// are bit-identical to running the workloads one at a time.
+func RunWorkloads(names []string, platformName string, opts Options) ([]WorkloadResult, error) {
+	opts = opts.withPool()
+	type outcome struct {
+		res WorkloadResult
+		err error
+	}
+	jobs := make([]func() outcome, len(names))
+	for i, name := range names {
+		jobs[i] = func() outcome {
+			r, err := RunWorkload(name, platformName, opts)
+			return outcome{r, err}
+		}
+	}
+	outs := parmap(opts, jobs)
+	results := make([]WorkloadResult, len(names))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		results[i] = o.res
+	}
+	return results, nil
+}
+
 // Advise profiles a workload on the base DDC and returns the pushdown
 // advisor's per-operator decisions (cost-model mode).
 func Advise(workloadName string, opts Options) ([]advisor.Decision, error) {

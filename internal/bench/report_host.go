@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Host-performance reporting: how long the figure suite takes on the host,
+// figure by figure, in real nanoseconds and heap allocations. This is the
+// one place the bench package legitimately reads the wall clock — it
+// measures the simulator, never the simulation (virtual-time answers are
+// produced elsewhere and are independent of all of this).
+
+// FigureHostStat is one figure's host cost.
+type FigureHostStat struct {
+	Figure  string `json:"figure"`
+	WallNs  int64  `json:"wall_ns"`
+	Mallocs uint64 `json:"mallocs"`
+}
+
+// HostReport is the tracked benchmark baseline (BENCH_5.json): the options
+// that shaped the workloads, the parallelism the suite ran with, and the
+// per-figure host costs.
+type HostReport struct {
+	GoMaxProcs   int              `json:"gomaxprocs"`
+	Workers      int              `json:"workers"`
+	Scale        float64          `json:"scale"`
+	GraphNV      int              `json:"graph_nv"`
+	Words        int              `json:"words"`
+	Seed         int64            `json:"seed"`
+	TotalWallNs  int64            `json:"total_wall_ns"`
+	TotalMallocs uint64           `json:"total_mallocs"`
+	Figures      []FigureHostStat `json:"figures"`
+}
+
+// RunAllTimed regenerates every figure in registration order, timing each.
+// Figures run one at a time so the wall-clock and allocation deltas are
+// attributable, but each figure's data points still fan out across the
+// worker pool per opts.Parallel.
+func RunAllTimed(opts Options) ([]*Table, HostReport) {
+	opts = opts.withPool()
+	rep := HostReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workersFor(opts.Parallel),
+		Scale:      opts.Scale,
+		GraphNV:    opts.GraphNV,
+		Words:      opts.Words,
+		Seed:       opts.Seed,
+	}
+	tables := make([]*Table, 0, len(registryOrder))
+	var before, after runtime.MemStats
+	for _, id := range registryOrder {
+		runtime.ReadMemStats(&before)
+		start := time.Now() //lint:allow walltime host benchmark measures the simulator, not the simulation
+		tbl := registry[id](opts)
+		wall := time.Since(start) //lint:allow walltime host benchmark measures the simulator, not the simulation
+		runtime.ReadMemStats(&after)
+		tables = append(tables, tbl)
+		rep.Figures = append(rep.Figures, FigureHostStat{
+			Figure:  id,
+			WallNs:  wall.Nanoseconds(),
+			Mallocs: after.Mallocs - before.Mallocs,
+		})
+	}
+	for _, f := range rep.Figures {
+		rep.TotalWallNs += f.WallNs
+		rep.TotalMallocs += f.Mallocs
+	}
+	return tables, rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r HostReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadHostReport loads a report written by WriteJSON.
+func ReadHostReport(path string) (HostReport, error) {
+	var r HostReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// CompareBaseline checks r against a tracked baseline: an error is returned
+// when the suite's total wall clock regressed by more than tol (0.25 = 25%),
+// or when the two reports measured different workloads and are therefore
+// incomparable. Faster-than-baseline is never an error.
+func (r HostReport) CompareBaseline(base HostReport, tol float64) error {
+	if r.Scale != base.Scale || r.GraphNV != base.GraphNV ||
+		r.Words != base.Words || r.Seed != base.Seed {
+		return fmt.Errorf("bench: baseline measured different workloads (scale=%g graph-nv=%d words=%d seed=%d vs scale=%g graph-nv=%d words=%d seed=%d); regenerate it",
+			base.Scale, base.GraphNV, base.Words, base.Seed,
+			r.Scale, r.GraphNV, r.Words, r.Seed)
+	}
+	if base.TotalWallNs <= 0 {
+		return fmt.Errorf("bench: baseline has no wall-clock total")
+	}
+	limit := float64(base.TotalWallNs) * (1 + tol)
+	if float64(r.TotalWallNs) > limit {
+		return fmt.Errorf("bench: wall-clock regression: suite took %.2fs vs baseline %.2fs (>%.0f%% tolerance)",
+			float64(r.TotalWallNs)/1e9, float64(base.TotalWallNs)/1e9, tol*100)
+	}
+	return nil
+}

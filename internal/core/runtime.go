@@ -80,6 +80,10 @@ type Runtime struct {
 	brState    breakerState
 	brStreak   int      // consecutive recoverable failures while closed
 	brOpenedAt sim.Time // when the breaker last opened
+
+	// journalBufs recycles undo-journal pre-image buffers across pushdown
+	// calls (host-side allocation control only; no simulated effect).
+	journalBufs pagePool
 }
 
 type waiter struct {
@@ -502,6 +506,7 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	mark = t.Now()
 	es := tr.Begin(t, trace.KindPushExec, 0, callID)
 	pager := &memPager{ps: ps, st: &st, opts: opts, dieAt: deadlineAt}
+	pager.journal.pool = &r.journalBufs
 	if frac, mid := p.M.Fault.CtxCrashMid(); mid {
 		// Map the seeded fraction onto a page-access ordinal: the context
 		// dies at its crashAt-th access — once it has dirtied at least one
@@ -556,6 +561,7 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 
 	r.exitPush(ps)
 	r.release(t)
+	pager.journal.discard()
 	p.M.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindPushdownEnd, Arg: callID, Who: t.Name()})
 
 	if killed {

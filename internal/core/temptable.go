@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"teleport/internal/mem"
 	"teleport/internal/sim"
 )
@@ -15,7 +13,12 @@ import (
 // O(table size) construction cost is still charged (see Runtime.setup), so
 // the representation changes nothing observable.
 type tempTable struct {
-	overrides map[mem.PageID]*tempPTE
+	// overrides is page-indexed (nil = still the cloned default state);
+	// the address space is a dense bump allocator, so direct indexing keeps
+	// the per-access peek off the hash-map path. n counts materialised
+	// entries.
+	overrides []*tempPTE
+	n         int
 }
 
 // tempPTE mirrors the paper's pte fields plus the bookkeeping the
@@ -33,24 +36,37 @@ type tempPTE struct {
 }
 
 func newTempTable() *tempTable {
-	return &tempTable{overrides: make(map[mem.PageID]*tempPTE)}
+	return &tempTable{}
 }
 
 // entry returns the override for p, materialising the default
 // (present+writable, i.e. the cloned state) if none exists yet.
 func (tt *tempTable) entry(p mem.PageID) *tempPTE {
-	if e, ok := tt.overrides[p]; ok {
-		return e
+	if p < mem.PageID(len(tt.overrides)) {
+		if e := tt.overrides[p]; e != nil {
+			return e
+		}
+	} else {
+		size := int(p) + 1
+		if d := 2 * len(tt.overrides); d > size {
+			size = d
+		}
+		grown := make([]*tempPTE, size)
+		copy(grown, tt.overrides)
+		tt.overrides = grown
 	}
 	e := &tempPTE{present: true, writable: true}
 	tt.overrides[p] = e
+	tt.n++
 	return e
 }
 
 // peek returns the current state without materialising an override.
 func (tt *tempTable) peek(p mem.PageID) (present, writable bool) {
-	if e, ok := tt.overrides[p]; ok {
-		return e.present, e.writable
+	if p < mem.PageID(len(tt.overrides)) {
+		if e := tt.overrides[p]; e != nil {
+			return e.present, e.writable
+		}
 	}
 	return true, true
 }
@@ -73,21 +89,20 @@ func (tt *tempTable) invalidate(p mem.PageID, computeWritable bool) {
 	}
 }
 
-// dirtyPages returns the pages the temporary context dirtied, sorted, for
-// the dirty-bit merge at completion (§4.1: "the dirty bits of the
-// temporary context's page table should be merged back into the full page
-// table"). Sorting pins the merge order: overrides is a map, and the
-// merge must not depend on Go's randomized iteration.
+// dirtyPages returns the pages the temporary context dirtied, in ascending
+// page order, for the dirty-bit merge at completion (§4.1: "the dirty bits
+// of the temporary context's page table should be merged back into the full
+// page table"). The page-indexed walk yields the same sorted order the map
+// representation had to construct explicitly.
 func (tt *tempTable) dirtyPages() []mem.PageID {
 	var out []mem.PageID
 	for p, e := range tt.overrides {
-		if e.dirty {
-			out = append(out, p)
+		if e != nil && e.dirty {
+			out = append(out, mem.PageID(p))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // len returns the number of materialised overrides (protocol-touched pages).
-func (tt *tempTable) len() int { return len(tt.overrides) }
+func (tt *tempTable) len() int { return tt.n }

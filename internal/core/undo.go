@@ -4,6 +4,35 @@ import (
 	"teleport/internal/mem"
 )
 
+// pagePool recycles page-sized pre-image buffers across pushdown calls so
+// steady-state journal capture allocates nothing: buffers go back on the
+// free list when a call rolls back or commits. A nil pool degrades to plain
+// allocation (SnapshotPageInto allocates when handed a nil buffer), which
+// keeps directly constructed journals in tests working unchanged.
+type pagePool struct {
+	free [][]byte
+}
+
+// get pops a recycled buffer, or returns nil (meaning "allocate").
+func (p *pagePool) get() []byte {
+	if p == nil || len(p.free) == 0 {
+		return nil
+	}
+	n := len(p.free) - 1
+	b := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	return b
+}
+
+// put returns a buffer to the free list.
+func (p *pagePool) put(b []byte) {
+	if p == nil || cap(b) < mem.PageSize {
+		return
+	}
+	p.free = append(p.free, b)
+}
+
 // undoJournal is the memory-kernel side's crash-consistency log for one
 // pushdown call: a copy-on-first-write pre-image of every page the temporary
 // context dirties. When the context dies mid-execution (an armed mid-crash
@@ -15,6 +44,7 @@ import (
 type undoJournal struct {
 	pre   map[mem.PageID][]byte
 	order []mem.PageID // capture order, for a deterministic restore walk
+	pool  *pagePool    // optional pre-image buffer recycler (Runtime-owned)
 }
 
 // capture records page pg's pre-image if this call has not dirtied it yet.
@@ -28,7 +58,7 @@ func (j *undoJournal) capture(s *mem.Space, pg mem.PageID) {
 	if j.pre == nil {
 		j.pre = make(map[mem.PageID][]byte)
 	}
-	j.pre[pg] = s.SnapshotPage(pg)
+	j.pre[pg] = s.SnapshotPageInto(pg, j.pool.get())
 	j.order = append(j.order, pg)
 }
 
@@ -38,12 +68,13 @@ func (j *undoJournal) pages() int { return len(j.order) }
 // rollback restores every captured pre-image in reverse capture order (a
 // fixed order — never map iteration — so two same-seed runs roll back
 // identically), invoking onPage for each restored page, and empties the
-// journal.
+// journal, returning its buffers to the pool.
 func (j *undoJournal) rollback(s *mem.Space, onPage func(mem.PageID)) int {
 	n := len(j.order)
 	for i := n - 1; i >= 0; i-- {
 		pg := j.order[i]
 		s.RestorePage(pg, j.pre[pg])
+		j.pool.put(j.pre[pg])
 		if onPage != nil {
 			onPage(pg)
 		}
@@ -51,4 +82,14 @@ func (j *undoJournal) rollback(s *mem.Space, onPage func(mem.PageID)) int {
 	j.pre = nil
 	j.order = nil
 	return n
+}
+
+// discard drops the journal without restoring anything (the call committed:
+// its writes stand, the pre-images are dead) and recycles the buffers.
+func (j *undoJournal) discard() {
+	for _, pg := range j.order {
+		j.pool.put(j.pre[pg])
+	}
+	j.pre = nil
+	j.order = nil
 }

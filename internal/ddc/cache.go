@@ -12,9 +12,13 @@ import "teleport/internal/mem"
 // process's ground-truth mem.Space.
 type PageCache struct {
 	capacity int // in pages; 0 = unlimited
-	m        map[mem.PageID]*cacheNode
-	head     *cacheNode // most recently used
-	tail     *cacheNode // least recently used
+	// nodes is page-indexed (the address space is dense, so direct indexing
+	// beats a hash map on the per-access lookup path); count tracks the
+	// resident population.
+	nodes []*cacheNode
+	count int
+	head  *cacheNode // most recently used
+	tail  *cacheNode // least recently used
 }
 
 type cacheNode struct {
@@ -32,25 +36,46 @@ type Evicted struct {
 
 // NewPageCache returns a cache bounded to capPages pages (0 = unlimited).
 func NewPageCache(capPages int) *PageCache {
-	return &PageCache{capacity: capPages, m: make(map[mem.PageID]*cacheNode)}
+	return &PageCache{capacity: capPages}
+}
+
+// node returns the resident node for p, or nil.
+func (c *PageCache) node(p mem.PageID) *cacheNode {
+	if p < mem.PageID(len(c.nodes)) {
+		return c.nodes[p]
+	}
+	return nil
+}
+
+// setNode installs n as page p's node, growing the table as needed.
+func (c *PageCache) setNode(p mem.PageID, n *cacheNode) {
+	if p >= mem.PageID(len(c.nodes)) {
+		size := int(p) + 1
+		if d := 2 * len(c.nodes); d > size {
+			size = d
+		}
+		grown := make([]*cacheNode, size)
+		copy(grown, c.nodes)
+		c.nodes = grown
+	}
+	c.nodes[p] = n
 }
 
 // Len returns the number of resident pages.
-func (c *PageCache) Len() int { return len(c.m) }
+func (c *PageCache) Len() int { return c.count }
 
 // Capacity returns the page bound (0 = unlimited).
 func (c *PageCache) Capacity() int { return c.capacity }
 
 // Contains reports residency without touching LRU order.
 func (c *PageCache) Contains(p mem.PageID) bool {
-	_, ok := c.m[p]
-	return ok
+	return c.node(p) != nil
 }
 
 // Lookup returns the page's permission bits and bumps it to MRU.
 func (c *PageCache) Lookup(p mem.PageID) (writable, dirty, ok bool) {
-	n, ok := c.m[p]
-	if !ok {
+	n := c.node(p)
+	if n == nil {
 		return false, false, false
 	}
 	c.moveToFront(n)
@@ -60,19 +85,21 @@ func (c *PageCache) Lookup(p mem.PageID) (writable, dirty, ok bool) {
 // Insert adds (or refreshes) a page with the given bits and returns any
 // evicted victims. Inserting an existing page overwrites its bits.
 func (c *PageCache) Insert(p mem.PageID, writable, dirty bool) []Evicted {
-	if n, ok := c.m[p]; ok {
+	if n := c.node(p); n != nil {
 		n.writable, n.dirty = writable, dirty
 		c.moveToFront(n)
 		return nil
 	}
 	n := &cacheNode{page: p, writable: writable, dirty: dirty}
-	c.m[p] = n
+	c.setNode(p, n)
+	c.count++
 	c.pushFront(n)
 	var out []Evicted
-	for c.capacity > 0 && len(c.m) > c.capacity {
+	for c.capacity > 0 && c.count > c.capacity {
 		v := c.tail
 		c.unlink(v)
-		delete(c.m, v.page)
+		c.nodes[v.page] = nil
+		c.count--
 		out = append(out, Evicted{Page: v.page, Dirty: v.dirty})
 	}
 	return out
@@ -81,20 +108,21 @@ func (c *PageCache) Insert(p mem.PageID, writable, dirty bool) []Evicted {
 // Remove evicts a specific page (e.g. a coherence invalidation), returning
 // its dirty bit.
 func (c *PageCache) Remove(p mem.PageID) (dirty, ok bool) {
-	n, ok := c.m[p]
-	if !ok {
+	n := c.node(p)
+	if n == nil {
 		return false, false
 	}
 	c.unlink(n)
-	delete(c.m, p)
+	c.nodes[p] = nil
+	c.count--
 	return n.dirty, true
 }
 
 // SetWritable updates the page's write permission (coherence downgrade or
 // upgrade); it reports whether the page was resident.
 func (c *PageCache) SetWritable(p mem.PageID, w bool) bool {
-	n, ok := c.m[p]
-	if !ok {
+	n := c.node(p)
+	if n == nil {
 		return false
 	}
 	n.writable = w
@@ -103,8 +131,8 @@ func (c *PageCache) SetWritable(p mem.PageID, w bool) bool {
 
 // MarkDirty sets the dirty bit; it reports whether the page was resident.
 func (c *PageCache) MarkDirty(p mem.PageID) bool {
-	n, ok := c.m[p]
-	if !ok {
+	n := c.node(p)
+	if n == nil {
 		return false
 	}
 	n.dirty = true
@@ -113,7 +141,7 @@ func (c *PageCache) MarkDirty(p mem.PageID) bool {
 
 // ClearDirty resets the dirty bit (after a write-back / sync).
 func (c *PageCache) ClearDirty(p mem.PageID) {
-	if n, ok := c.m[p]; ok {
+	if n := c.node(p); n != nil {
 		n.dirty = false
 	}
 }
@@ -135,10 +163,11 @@ func (c *PageCache) Range(f func(p mem.PageID, writable, dirty bool) bool) {
 func (c *PageCache) SetCapacity(pages int) []Evicted {
 	c.capacity = pages
 	var out []Evicted
-	for c.capacity > 0 && len(c.m) > c.capacity {
+	for c.capacity > 0 && c.count > c.capacity {
 		v := c.tail
 		c.unlink(v)
-		delete(c.m, v.page)
+		c.nodes[v.page] = nil
+		c.count--
 		out = append(out, Evicted{Page: v.page, Dirty: v.dirty})
 	}
 	return out
@@ -147,7 +176,8 @@ func (c *PageCache) SetCapacity(pages int) []Evicted {
 // Clear drops every resident page (whole-cache invalidation, used by the
 // naive process-migration mode of Figure 6).
 func (c *PageCache) Clear() {
-	c.m = make(map[mem.PageID]*cacheNode)
+	c.nodes = nil
+	c.count = 0
 	c.head, c.tail = nil, nil
 }
 

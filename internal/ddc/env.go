@@ -1,6 +1,10 @@
 package ddc
 
 import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
 	"teleport/internal/hw"
 	"teleport/internal/mem"
 	"teleport/internal/metrics"
@@ -55,6 +59,24 @@ type Env struct {
 	fpPage  mem.PageID
 	fpEpoch uint64
 
+	// Hot-line memo (the per-thread one-entry software TLB): the DRAM line
+	// the last touch ended on, plus a zero-copy borrow of its page frame.
+	// A repeat access entirely inside this line, with the process epoch
+	// unchanged, is provably free under the models — the fp fast path skips
+	// the pager and chargeDRAM serves an in-stream line at zero cost with
+	// no state mutation — so the accessors decode straight from the frame.
+	// Validity: hot* is (re)anchored by every touch, hotValid implies
+	// fpValid with the same page and write grade, and the epoch check
+	// catches every pager/coherence event (eviction, rollback, upgrade),
+	// exactly as it does for the fp fast path.
+	hotValid  bool
+	hotWrite  bool
+	hotLine   uint64
+	hotPage   mem.PageID
+	hotFrame  []byte // fetched lazily on first hit; nil until then
+	lineB     uint64 // cached HW.DRAMLineBytes
+	lineShift uint8  // log2(lineB) when it is a power of two, else 255
+
 	// DRAM line model state: a small set of hardware-prefetch streams,
 	// so interleaved sequential accesses (scan a column, append to an
 	// output) each stream at full bandwidth like a real prefetcher, plus a
@@ -71,21 +93,43 @@ type Env struct {
 
 // NewEnv returns a compute-place environment for t.
 func (p *Process) NewEnv(t *sim.Thread) *Env {
-	return &Env{
+	e := &Env{
 		T: t, P: p, Place: PlaceCompute,
 		ClockGHz: p.M.Cfg.HW.ComputeClockGHz,
 		pager:    computePager{},
 	}
+	e.initLine()
+	return e
 }
 
 // NewMemoryEnv returns a memory-place environment using a caller-supplied
 // pager (TELEPORT's temporary-context fault handler).
 func (p *Process) NewMemoryEnv(t *sim.Thread, pager Pager) *Env {
-	return &Env{
+	e := &Env{
 		T: t, P: p, Place: PlaceMemory,
 		ClockGHz: p.M.Cfg.HW.MemoryClockGHz,
 		pager:    pager,
 	}
+	e.initLine()
+	return e
+}
+
+// initLine caches the DRAM line geometry (a shift when the configured line
+// size is a power of two, which it always is on the shipped configs).
+func (e *Env) initLine() {
+	e.lineB = uint64(e.P.M.Cfg.HW.DRAMLineBytes)
+	e.lineShift = 255
+	if e.lineB > 0 && e.lineB&(e.lineB-1) == 0 {
+		e.lineShift = uint8(bits.TrailingZeros64(e.lineB))
+	}
+}
+
+// lineOf maps an address to its DRAM line index.
+func (e *Env) lineOf(x uint64) uint64 {
+	if e.lineShift != 255 {
+		return x >> e.lineShift
+	}
+	return x / e.lineB
 }
 
 // Accesses returns the environment's read and write access counts.
@@ -112,19 +156,55 @@ func (e *Env) touch(addr mem.Addr, n int, write bool) {
 	first, last := mem.PageSpan(addr, n)
 	if first == last && e.fpValid && first == e.fpPage && e.fpEpoch == e.P.Epoch &&
 		(!write || e.fpWrite) {
-		e.chargeDRAM(addr, n)
+		e.chargeDRAM(addr, n, first, first == last)
 		return
 	}
 	for pg := first; pg <= last; pg++ {
 		e.pager.EnsurePage(e, pg, write)
 	}
 	e.fpValid, e.fpPage, e.fpWrite, e.fpEpoch = true, last, write, e.P.Epoch
-	e.chargeDRAM(addr, n)
+	e.chargeDRAM(addr, n, first, first == last)
+}
+
+// hotR returns the frame bytes at a when a read of n bytes falls entirely
+// inside the hot line with the epoch unchanged (then the access is free and
+// mutation-free by construction; only the read counter advances).
+func (e *Env) hotR(a mem.Addr, n int) ([]byte, bool) {
+	if !e.hotValid || e.fpEpoch != e.P.Epoch {
+		return nil, false
+	}
+	if e.lineOf(uint64(a)) != e.hotLine || e.lineOf(uint64(a)+uint64(n)-1) != e.hotLine {
+		return nil, false
+	}
+	if e.hotFrame == nil {
+		e.hotFrame = e.P.Space.Frame(e.hotPage)
+	}
+	e.reads++
+	return e.hotFrame[a&(mem.PageSize-1):], true
+}
+
+// hotW is hotR for writes: additionally requires the page was anchored with
+// write permission (mirroring the fp fast path's fpWrite condition).
+func (e *Env) hotW(a mem.Addr, n int) ([]byte, bool) {
+	if !e.hotValid || !e.hotWrite || e.fpEpoch != e.P.Epoch {
+		return nil, false
+	}
+	if e.lineOf(uint64(a)) != e.hotLine || e.lineOf(uint64(a)+uint64(n)-1) != e.hotLine {
+		return nil, false
+	}
+	if e.hotFrame == nil {
+		e.hotFrame = e.P.Space.Frame(e.hotPage)
+	}
+	e.writes++
+	return e.hotFrame[a&(mem.PageSize-1):], true
 }
 
 // InvalidateFastPath drops the env's cached page state; the coherence layer
 // calls this indirectly by bumping the process epoch.
-func (e *Env) InvalidateFastPath() { e.fpValid = false }
+func (e *Env) InvalidateFastPath() {
+	e.fpValid = false
+	e.hotValid = false
+}
 
 // dramStreams is the number of concurrent hardware-prefetch streams the
 // DRAM model tracks per thread (real cores track 8–32).
@@ -134,11 +214,29 @@ const dramStreams = 8
 // or directly after one of the thread's active access streams is served at
 // streaming bandwidth (the hardware prefetcher); anything else pays a full
 // random DRAM access and starts a new stream.
-func (e *Env) chargeDRAM(addr mem.Addr, n int) {
+//
+// It also (re)anchors the hot-line memo: its last line always ends up on an
+// active prefetch stream, so a repeat access inside that line would charge
+// zero and mutate nothing — the condition the hot-path accessors exploit.
+// Multi-page accesses don't anchor (the fp page and the line's page must
+// agree).
+func (e *Env) chargeDRAM(addr mem.Addr, n int, pg mem.PageID, single bool) {
 	cfg := &e.P.M.Cfg.HW
-	lb := uint64(cfg.DRAMLineBytes)
-	firstLine := uint64(addr) / lb
-	lastLine := (uint64(addr) + uint64(n) - 1) / lb
+	firstLine := e.lineOf(uint64(addr))
+	lastLine := e.lineOf(uint64(addr) + uint64(n) - 1)
+	if single {
+		e.hotValid = true
+		e.hotLine = lastLine
+		e.hotWrite = e.fpWrite
+		if pg != e.hotPage {
+			// Defer the frame borrow to the first hit: loops that never
+			// repeat a line pay nothing for the memo. Frame identities are
+			// stable, so a same-page re-anchor keeps the borrowed slice.
+			e.hotPage, e.hotFrame = pg, nil
+		}
+	} else {
+		e.hotValid = false
+	}
 	if e.l2 == nil && cfg.CacheLines > 0 {
 		e.l2 = make([]uint64, cfg.CacheLines)
 	}
@@ -188,12 +286,19 @@ lines:
 
 // ReadU64 reads a uint64 through the paging model.
 func (e *Env) ReadU64(a mem.Addr) uint64 {
+	if b, ok := e.hotR(a, 8); ok {
+		return binary.LittleEndian.Uint64(b)
+	}
 	e.touch(a, 8, false)
 	return e.P.Space.ReadU64(a)
 }
 
 // WriteU64 writes a uint64 through the paging model.
 func (e *Env) WriteU64(a mem.Addr, v uint64) {
+	if b, ok := e.hotW(a, 8); ok {
+		binary.LittleEndian.PutUint64(b, v)
+		return
+	}
 	e.touch(a, 8, true)
 	e.P.Space.WriteU64(a, v)
 }
@@ -206,24 +311,38 @@ func (e *Env) WriteI64(a mem.Addr, v int64) { e.WriteU64(a, uint64(v)) }
 
 // ReadF64 reads a float64.
 func (e *Env) ReadF64(a mem.Addr) float64 {
+	if b, ok := e.hotR(a, 8); ok {
+		return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
 	e.touch(a, 8, false)
 	return e.P.Space.ReadF64(a)
 }
 
 // WriteF64 writes a float64.
 func (e *Env) WriteF64(a mem.Addr, v float64) {
+	if b, ok := e.hotW(a, 8); ok {
+		binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+		return
+	}
 	e.touch(a, 8, true)
 	e.P.Space.WriteF64(a, v)
 }
 
 // ReadU32 reads a uint32.
 func (e *Env) ReadU32(a mem.Addr) uint32 {
+	if b, ok := e.hotR(a, 4); ok {
+		return binary.LittleEndian.Uint32(b)
+	}
 	e.touch(a, 4, false)
 	return e.P.Space.ReadU32(a)
 }
 
 // WriteU32 writes a uint32.
 func (e *Env) WriteU32(a mem.Addr, v uint32) {
+	if b, ok := e.hotW(a, 4); ok {
+		binary.LittleEndian.PutUint32(b, v)
+		return
+	}
 	e.touch(a, 4, true)
 	e.P.Space.WriteU32(a, v)
 }
@@ -236,14 +355,118 @@ func (e *Env) WriteI32(a mem.Addr, v int32) { e.WriteU32(a, uint32(v)) }
 
 // ReadU8 reads one byte.
 func (e *Env) ReadU8(a mem.Addr) byte {
+	if b, ok := e.hotR(a, 1); ok {
+		return b[0]
+	}
 	e.touch(a, 1, false)
 	return e.P.Space.ReadU8(a)
 }
 
 // WriteU8 writes one byte.
 func (e *Env) WriteU8(a mem.Addr, v byte) {
+	if b, ok := e.hotW(a, 1); ok {
+		b[0] = v
+		return
+	}
 	e.touch(a, 1, true)
 	e.P.Space.WriteU8(a, v)
+}
+
+// ReadU64s reads len(dst) consecutive uint64s starting at a. It is
+// element-for-element equivalent to that many ReadU64 calls — the paging
+// state machine and DRAM charges run in the identical order — but runs of
+// words inside an already-charged hot line decode straight from the
+// borrowed frame without re-entering the model.
+func (e *Env) ReadU64s(a mem.Addr, dst []uint64) {
+	for i := 0; i < len(dst); {
+		dst[i] = e.ReadU64(a)
+		i++
+		a += 8
+		if !e.hotValid || e.fpEpoch != e.P.Epoch {
+			continue
+		}
+		// Nothing below advances virtual time, so no yield can run and the
+		// epoch cannot change mid-run: one check covers the whole line.
+		if e.hotFrame == nil {
+			e.hotFrame = e.P.Space.Frame(e.hotPage)
+		}
+		end := (e.hotLine + 1) * e.lineB
+		for i < len(dst) && uint64(a)+8 <= end {
+			dst[i] = binary.LittleEndian.Uint64(e.hotFrame[a&(mem.PageSize-1):])
+			e.reads++
+			i++
+			a += 8
+		}
+	}
+}
+
+// WriteU64s writes src as consecutive uint64s starting at a, with the same
+// per-element equivalence as ReadU64s.
+func (e *Env) WriteU64s(a mem.Addr, src []uint64) {
+	for i := 0; i < len(src); {
+		e.WriteU64(a, src[i])
+		i++
+		a += 8
+		if !e.hotValid || !e.hotWrite || e.fpEpoch != e.P.Epoch {
+			continue
+		}
+		if e.hotFrame == nil {
+			e.hotFrame = e.P.Space.Frame(e.hotPage)
+		}
+		end := (e.hotLine + 1) * e.lineB
+		for i < len(src) && uint64(a)+8 <= end {
+			binary.LittleEndian.PutUint64(e.hotFrame[a&(mem.PageSize-1):], src[i])
+			e.writes++
+			i++
+			a += 8
+		}
+	}
+}
+
+// ReadU32s reads len(dst) consecutive uint32s starting at a (per-element
+// equivalent to that many ReadU32 calls).
+func (e *Env) ReadU32s(a mem.Addr, dst []uint32) {
+	for i := 0; i < len(dst); {
+		dst[i] = e.ReadU32(a)
+		i++
+		a += 4
+		if !e.hotValid || e.fpEpoch != e.P.Epoch {
+			continue
+		}
+		if e.hotFrame == nil {
+			e.hotFrame = e.P.Space.Frame(e.hotPage)
+		}
+		end := (e.hotLine + 1) * e.lineB
+		for i < len(dst) && uint64(a)+4 <= end {
+			dst[i] = binary.LittleEndian.Uint32(e.hotFrame[a&(mem.PageSize-1):])
+			e.reads++
+			i++
+			a += 4
+		}
+	}
+}
+
+// WriteU32s writes src as consecutive uint32s starting at a (per-element
+// equivalent to that many WriteU32 calls).
+func (e *Env) WriteU32s(a mem.Addr, src []uint32) {
+	for i := 0; i < len(src); {
+		e.WriteU32(a, src[i])
+		i++
+		a += 4
+		if !e.hotValid || !e.hotWrite || e.fpEpoch != e.P.Epoch {
+			continue
+		}
+		if e.hotFrame == nil {
+			e.hotFrame = e.P.Space.Frame(e.hotPage)
+		}
+		end := (e.hotLine + 1) * e.lineB
+		for i < len(src) && uint64(a)+4 <= end {
+			binary.LittleEndian.PutUint32(e.hotFrame[a&(mem.PageSize-1):], src[i])
+			e.writes++
+			i++
+			a += 4
+		}
+	}
 }
 
 // ReadBytes copies n bytes at a into buf (len(buf) == n).

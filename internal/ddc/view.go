@@ -1,0 +1,38 @@
+package ddc
+
+import "teleport/internal/mem"
+
+// PageView is a zero-copy borrow of one page's live bytes (a
+// mem.Space.Frame borrow tagged with the process epoch at borrow time).
+//
+// It is a host-side window for tooling — undo-journal style pre-image
+// capture, integrity checks, tests, benchmarks: reading through it costs no
+// virtual time and runs no paging state machine, so simulated application
+// code must keep using the Env accessors for anything the cost model should
+// see. The bytes are always current (frame identities are stable for the
+// life of the Space); Valid reports whether the borrow is still "quiescent",
+// i.e. no paging or coherence event (eviction, fault, write upgrade,
+// rollback) has bumped the process epoch since the borrow.
+type PageView struct {
+	p     *Process
+	page  mem.PageID
+	epoch uint64
+	data  []byte
+}
+
+// ViewPage borrows page pg's frame.
+func (p *Process) ViewPage(pg mem.PageID) PageView {
+	return PageView{p: p, page: pg, epoch: p.Epoch, data: p.Space.Frame(pg)}
+}
+
+// Page returns the viewed page.
+func (v PageView) Page() mem.PageID { return v.page }
+
+// Bytes returns the live frame bytes (length mem.PageSize). The slice
+// aliases the space's single physical copy: writes through it bypass every
+// model and must be confined to host-side tooling.
+func (v PageView) Bytes() []byte { return v.data }
+
+// Valid reports whether the process epoch is unchanged since the borrow —
+// the same staleness rule the Env fast paths use.
+func (v PageView) Valid() bool { return v.p.Epoch == v.epoch }

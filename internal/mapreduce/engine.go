@@ -46,15 +46,18 @@ func newKVBuf(p *ddc.Process, capacity int, name string) *kvBuf {
 }
 
 func (b *kvBuf) append(env *ddc.Env, kv KV) {
-	a := b.base + mem.Addr(b.n*16)
-	env.WriteI64(a, kv.K)
-	env.WriteI64(a+8, kv.V)
+	// One batched write of the adjacent (k, v) pair: per-element equivalent
+	// to WriteI64(a); WriteI64(a+8), but the second word decodes from the
+	// hot line instead of re-entering the access model.
+	pair := [2]uint64{uint64(kv.K), uint64(kv.V)}
+	env.WriteU64s(b.base+mem.Addr(b.n*16), pair[:])
 	b.n++
 }
 
 func (b *kvBuf) get(env *ddc.Env, i int) KV {
-	a := b.base + mem.Addr(i*16)
-	return KV{K: env.ReadI64(a), V: env.ReadI64(a + 8)}
+	var pair [2]uint64
+	env.ReadU64s(b.base+mem.Addr(i*16), pair[:])
+	return KV{K: int64(pair[0]), V: int64(pair[1])}
 }
 
 // Job defines a MapReduce application: Map tokenises one input chunk and

@@ -1,0 +1,43 @@
+package mem
+
+import "testing"
+
+// BenchmarkPageLookup measures the per-access cost of resolving a page's
+// frame — the operation every simulated load/store bottoms out in. The
+// page-indexed frame table makes this a bounds check and a slice load, not
+// a hash-map probe.
+func BenchmarkPageLookup(b *testing.B) {
+	s := NewSpace()
+	const pages = 4096
+	base := s.AllocPages(pages*PageSize, "bench")
+	first := PageOf(base)
+	// Touch every page once so the frames exist.
+	for p := int64(0); p < pages; p++ {
+		s.Frame(first + PageID(p))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		f := s.Frame(first + PageID(i%pages))
+		sink ^= f[0]
+	}
+	_ = sink
+}
+
+// BenchmarkSnapshotPageInto measures pre-image capture with a recycled
+// buffer (the undo journal's steady state): one page copy, zero
+// allocations.
+func BenchmarkSnapshotPageInto(b *testing.B) {
+	s := NewSpace()
+	base := s.AllocPages(PageSize, "bench")
+	pg := PageOf(base)
+	s.Frame(pg)
+	buf := make([]byte, PageSize)
+	b.SetBytes(PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.SnapshotPageInto(pg, buf)
+	}
+}

@@ -114,8 +114,15 @@ type Region struct {
 // Space is a process's ground-truth address space: a bump allocator over
 // demand-created 4 KB frames.
 type Space struct {
-	next      Addr
-	frames    map[PageID][]byte
+	next Addr
+	// frames is the page-indexed frame table: frames[p] is page p's backing
+	// bytes, nil until first touch. The space is a dense bump allocator
+	// starting just above address 0, so direct indexing replaces the hash
+	// map a sparse space would need — the frame lookup on the simulator's
+	// access fast path is a bounds check and a load. Entries are created
+	// once and never replaced (RestorePage copies in place), so borrowed
+	// frame slices (Frame) stay valid and current for the Space's lifetime.
+	frames    [][]byte
 	allocated int64
 	regions   []Region
 }
@@ -125,7 +132,7 @@ const spaceBase Addr = 1 << 20
 
 // NewSpace returns an empty address space.
 func NewSpace() *Space {
-	return &Space{next: spaceBase, frames: make(map[PageID][]byte)}
+	return &Space{next: spaceBase}
 }
 
 // Alloc reserves n bytes, 64-byte aligned (so scalar fields never straddle
@@ -178,19 +185,61 @@ func (s *Space) Extent() (first, last PageID, ok bool) {
 
 // frame returns (creating if needed) the backing bytes of page p.
 func (s *Space) frame(p PageID) []byte {
-	f, ok := s.frames[p]
-	if !ok {
-		f = make([]byte, PageSize)
-		s.frames[p] = f
+	if p < PageID(len(s.frames)) {
+		if f := s.frames[p]; f != nil {
+			return f
+		}
 	}
+	return s.newFrame(p)
+}
+
+// newFrame is the cold path of frame: grow the table and materialise p.
+func (s *Space) newFrame(p PageID) []byte {
+	if p >= PageID(len(s.frames)) {
+		// Size the table to the allocation extent (with doubling as a
+		// floor) so touching pages in ascending order grows it O(log n)
+		// times, not once per page.
+		n := int(p) + 1
+		if s.next > spaceBase {
+			if ext := int(PageOf(s.next-1)) + 1; ext > n {
+				n = ext
+			}
+		}
+		if d := 2 * len(s.frames); d > n {
+			n = d
+		}
+		grown := make([][]byte, n)
+		copy(grown, s.frames)
+		s.frames = grown
+	}
+	f := make([]byte, PageSize)
+	s.frames[p] = f
 	return f
 }
+
+// Frame returns the live backing bytes of page p — a zero-copy borrow of
+// the single physical copy. The slice stays valid (and current) for the
+// lifetime of the Space: frames are never reallocated, and RestorePage
+// copies in place. Callers borrowing a frame bypass the paging and cost
+// models entirely; internal/ddc's fast paths use this only for accesses
+// their own validity checks prove would charge nothing.
+func (s *Space) Frame(p PageID) []byte { return s.frame(p) }
 
 // SnapshotPage returns a copy of page p's current bytes — the pre-image the
 // pushdown undo journal captures before a page's first write. A page never
 // touched reads as zeroes, exactly as ReadAt would see it.
 func (s *Space) SnapshotPage(p PageID) []byte {
-	img := make([]byte, PageSize)
+	return s.SnapshotPageInto(p, nil)
+}
+
+// SnapshotPageInto captures page p into buf when buf has page capacity,
+// allocating only when it does not. The undo journal recycles its pre-image
+// buffers through this to keep capture allocation-free in steady state.
+func (s *Space) SnapshotPageInto(p PageID, buf []byte) []byte {
+	if cap(buf) < PageSize {
+		buf = make([]byte, PageSize)
+	}
+	img := buf[:PageSize]
 	copy(img, s.frame(p))
 	return img
 }
