@@ -9,6 +9,8 @@
 //	ddcsim -workload Q6 -platform teleport -report
 //	ddcsim -workload Q6 -platform teleport -trace-out q6.json -metrics-out q6-metrics.json
 //	ddcsim -workload Q9,Q3,Q6 -platform teleport -parallel 4
+//	ddcsim -chaos-profile list
+//	ddcsim -workload Q6 -platform teleport -pool-shards 4 -replicas 2 -chaos-profile shard-flap
 //
 // A comma-separated -workload list runs the workloads concurrently across
 // host cores (bounded by -parallel); results print in list order and are
@@ -44,8 +46,10 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file")
 		report     = flag.Bool("report", false, "print the per-run time-attribution report")
 		advise     = flag.Bool("advise", false, "profile on the base DDC and print the advisor's pushdown decisions")
-		chaosProf  = flag.String("chaos-profile", "", "fault-injection profile: none, "+strings.Join(fault.ProfileNames(), ", "))
+		chaosProf  = flag.String("chaos-profile", "", "fault-injection profile: none, "+strings.Join(fault.ProfileNames(), ", ")+"; 'list' prints all profiles with parameters")
 		chaosSeed  = flag.Int64("chaos-seed", 0, "fault plan seed (0 = reuse -seed)")
+		poolShards = flag.Int("pool-shards", 0, "memory-pool shard count (0/1 = single controller)")
+		replicas   = flag.Int("replicas", 0, "synchronous page replicas across shards (0/1 = unreplicated)")
 		queueCap   = flag.Int("push-queue-cap", 0, "memory-pool workqueue capacity; beyond it requests are shed (0 = unbounded)")
 		deadlineUs = flag.Float64("push-deadline-us", 0, "per-attempt pushdown deadline budget in virtual microseconds (0 = none)")
 		brThresh   = flag.Int("breaker-threshold", 0, "circuit-breaker consecutive-failure threshold (0 = default, negative = disabled)")
@@ -53,6 +57,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *chaosProf == "list" {
+		for _, p := range fault.Profiles() {
+			fmt.Printf("%-12s %s\n%-12s   %s\n", p.Name, p.Description, "", p.Params())
+		}
+		return
+	}
 	traceCap := *traceN
 	if traceCap == 0 && (*traceOut != "" || *traceDump != "") {
 		// Trace export asked for without an explicit ring size: retain a
@@ -64,6 +74,7 @@ func main() {
 		Seed: *seed, CacheFrac: *cacheFrac, TraceCap: traceCap,
 		Metrics:      *metricsOut != "",
 		ChaosProfile: *chaosProf, ChaosSeed: *chaosSeed,
+		PoolShards: *poolShards, Replicas: *replicas,
 		PushQueueCap:     *queueCap,
 		PushDeadline:     sim.FromNs(*deadlineUs * 1e3),
 		BreakerThreshold: *brThresh,

@@ -37,6 +37,8 @@ func main() {
 		seed      = flag.Int64("seed", defaults.Seed, "generator seed")
 		cacheFrac = flag.Float64("cache-frac", defaults.CacheFrac, "compute-local cache as a fraction of the working set")
 		parallel  = flag.Int("parallel", 0, "concurrent figure data points on the host: 0 = one per core (GOMAXPROCS), 1 = sequential, n = n workers")
+		shards    = flag.Int("pool-shards", 0, "memory-pool shard count for disaggregated platforms (0/1 = single controller)")
+		replicas  = flag.Int("replicas", 0, "synchronous page replicas across shards (0/1 = unreplicated)")
 		list      = flag.Bool("list", false, "list figure ids and exit")
 
 		benchOut  = flag.String("bench-out", "", "run the whole suite timed and write the host benchmark report (wall-clock + allocs per figure) to this file")
@@ -51,12 +53,14 @@ func main() {
 		return
 	}
 	opts := bench.Options{
-		Scale:     *scale,
-		GraphNV:   *graphNV,
-		Words:     *words,
-		Seed:      *seed,
-		CacheFrac: *cacheFrac,
-		Parallel:  *parallel,
+		Scale:      *scale,
+		GraphNV:    *graphNV,
+		Words:      *words,
+		Seed:       *seed,
+		CacheFrac:  *cacheFrac,
+		Parallel:   *parallel,
+		PoolShards: *shards,
+		Replicas:   *replicas,
 	}
 	if !*quiet {
 		fmt.Printf("# teleport-bench scale=%g graph-nv=%d words=%d seed=%d cache-frac=%g\n\n",

@@ -27,3 +27,9 @@ func escaped() bool {
 	err := probe()
 	return err == errSentinel //lint:allow errcmp identity check on an unwrapped local sentinel
 }
+
+// The sanctioned shard-outage check: errors.Is against the sentinel.
+func cleanShardCheck() bool {
+	err := shardGate()
+	return errors.Is(err, errShardDown)
+}

@@ -16,3 +16,17 @@ func bad() bool {
 	}
 	return work() == work() // want `error compared with ==`
 }
+
+// Shard-outage handling must match the ErrShardDown sentinel with
+// errors.Is: the runtime can return it wrapped with call context.
+var errShardDown = errors.New("teleport: memory-pool shard down (no live replica)")
+
+func shardGate() error { return errShardDown }
+
+func badShardCheck() bool {
+	err := shardGate()
+	if err == errShardDown { // want `error compared with ==; a wrapped sentinel never matches — use errors\.Is`
+		return true
+	}
+	return errShardDown != err // want `error compared with !=; a wrapped sentinel never matches — use errors\.Is`
+}

@@ -54,6 +54,14 @@ type Options struct {
 	// sequence and report bit-identical timings.
 	ChaosSeed int64
 
+	// PoolShards splits the disaggregated memory pool into this many
+	// independent crash-domain shards (0 or 1 = single controller), and
+	// Replicas keeps every page on that many shards so reads fail over to
+	// a live replica during a single-shard outage (see internal/ddc).
+	// Monolithic platforms ignore both.
+	PoolShards int
+	Replicas   int
+
 	// PushQueueCap bounds the memory pool's pushdown workqueue: beyond it,
 	// admission control sheds requests with ErrQueueFull (recovered by the
 	// retry policy). 0 keeps the unbounded FIFO.

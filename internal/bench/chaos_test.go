@@ -88,14 +88,22 @@ func chaosWorkloads() []chaosWorkload {
 	}
 }
 
+// maxChaosShards bounds the fixed-size per-shard arrays below; chaosResult
+// must stay ==-comparable, so slices are out.
+const maxChaosShards = 8
+
 // chaosResult is everything one chaos execution observes.
 type chaosResult struct {
-	Answer  uint64
-	Elapsed sim.Time
-	Fabric  netmodel.Stat
-	Plan    fault.Counters
-	RT      core.RuntimeStats
-	Stalls  int64
+	Answer      uint64
+	Elapsed     sim.Time
+	Fabric      netmodel.Stat
+	Plan        fault.Counters
+	RT          core.RuntimeStats
+	Stalls      int64
+	Failovers   int64                    // replica-served reads across all shards
+	ResyncPages int64                    // pages replayed by shard recoveries
+	ShardStalls int64                    // accesses with no live replica
+	ShardDown   [maxChaosShards]sim.Time // per-shard downtime through the run
 }
 
 // runChaos executes one workload on the TELEPORT platform under the named
@@ -106,7 +114,14 @@ func runChaos(t *testing.T, w chaosWorkload, profName string, seed int64) chaosR
 	if err != nil {
 		t.Fatalf("ByName(%q): %v", profName, err)
 	}
-	m := ddc.MustMachine(ddc.BaseDDC(1 << 20))
+	cfg := ddc.BaseDDC(1 << 20)
+	if prof.ShardMeanUp > 0 {
+		// Shard profiles need a multi-shard pool to have anything to
+		// crash; replication keeps single-shard outages off the stall
+		// path so answers still flow.
+		cfg.PoolShards, cfg.Replicas = 4, 2
+	}
+	m := ddc.MustMachine(cfg)
 	m.AttachTrace(trace.New(512))
 	if prof.Name != "none" {
 		m.AttachFault(fault.NewPlan(prof, seed))
@@ -125,7 +140,7 @@ func runChaos(t *testing.T, w chaosWorkload, profName string, seed int64) chaosR
 	ex.Push(w.push...)
 	runFn(ex)
 
-	return chaosResult{
+	res := chaosResult{
 		Answer:  ansFn(),
 		Elapsed: ex.Total(),
 		Fabric:  m.Fabric.Total(),
@@ -133,6 +148,16 @@ func runChaos(t *testing.T, w chaosWorkload, profName string, seed int64) chaosR
 		RT:      rt.Stats(),
 		Stalls:  m.PoolStalls,
 	}
+	for s := 0; s < m.Cfg.Shards() && s < maxChaosShards; s++ {
+		if m.ShardStats != nil {
+			st := m.ShardStats[s]
+			res.Failovers += st.FailoverReads
+			res.ResyncPages += st.ResyncPages
+			res.ShardStalls += st.Stalls
+		}
+		res.ShardDown[s] = fault.TotalDowntime(m.Fault.ShardWindowsThrough(s, th.Now()), th.Now())
+	}
+	return res
 }
 
 // Faults must never change answers: every profile yields the fault-free
@@ -147,7 +172,8 @@ func TestChaosAnswersMatchFaultFree(t *testing.T) {
 				t.Errorf("%s under %q: answer %#x, fault-free %#x", w.name, prof, got.Answer, baseline.Answer)
 			}
 			injectedBy[prof] += got.Plan.Drops + got.Plan.Spikes + got.Plan.CtxCrashes +
-				got.Plan.CtxMidCrashes + got.Plan.SSDReadErrors + got.Plan.PoolWindows
+				got.Plan.CtxMidCrashes + got.Plan.SSDReadErrors + got.Plan.PoolWindows +
+				got.Plan.ShardWindows
 		}
 	}
 	// Every profile must have actually injected faults somewhere, or the
@@ -206,7 +232,8 @@ func TestRunWorkloadChaosReport(t *testing.T) {
 	if a.Nanos <= 0 || sim.Time(a.Nanos).Seconds() != a.Seconds {
 		t.Errorf("Nanos (%d) inconsistent with Seconds (%v)", a.Nanos, a.Seconds)
 	}
-	if *a.Fault != *b.Fault {
+	// FaultReport holds a per-shard slice, so compare the rendered form.
+	if a.Fault.String() != b.Fault.String() {
 		t.Errorf("same-seed chaos runs differ in fault report:\n  a=%+v\n  b=%+v", *a.Fault, *b.Fault)
 	}
 

@@ -2,12 +2,14 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"teleport/internal/advisor"
 	"teleport/internal/fault"
 	"teleport/internal/hw"
 	"teleport/internal/metrics"
 	"teleport/internal/profile"
+	"teleport/internal/sim"
 	"teleport/internal/trace"
 )
 
@@ -65,11 +67,21 @@ type FaultReport struct {
 	SSDReadRetries int64 // device-level re-reads
 	PoolStalls     int64 // paging operations that waited out a pool outage
 
+	// Availability: concrete downtime through the run's end, replacing the
+	// opaque window counts, plus the sharded pool's failover activity
+	// (multi-shard pools only; zero/empty otherwise).
+	PoolDowntime  sim.Time   // total whole-controller downtime
+	ShardDowntime []sim.Time // per-shard downtime, indexed by shard
+	FailoverReads int64      // accesses served by a replica while a primary was down
+	ResyncPages   int64      // journaled pages re-replicated on shard recovery
+	ShardStalls   int64      // accesses stalled because no replica was live
+
 	// TELEPORT runtime recovery (teleport platforms only; zero elsewhere).
-	PoolDownObserved int64 // heartbeat observations that found the pool down
-	CtxCrashes       int64 // temporary-context crashes (pre-commit + mid-execution)
-	PushRetries      int64 // pushdown re-attempts by the policy
-	LocalFallbacks   int64 // pushdowns degraded to compute-side execution
+	PoolDownObserved  int64 // heartbeat observations that found the pool down
+	ShardDownObserved int64 // pushdowns shed because a page's replica set was down
+	CtxCrashes        int64 // temporary-context crashes (pre-commit + mid-execution)
+	PushRetries       int64 // pushdown re-attempts by the policy
+	LocalFallbacks    int64 // pushdowns degraded to compute-side execution
 
 	// Crash-consistency and overload recovery.
 	Shed                 int64 // requests rejected by admission control
@@ -88,11 +100,25 @@ func (f *FaultReport) String() string {
 	if f == nil {
 		return "chaos: none"
 	}
+	// The injected line omits the plan's raw window counts; the
+	// availability line reports the outages as concrete downtime instead.
+	i := f.Injected
+	avail := fmt.Sprintf("pool-downtime=%v", f.PoolDowntime)
+	if len(f.ShardDowntime) > 0 {
+		per := make([]string, len(f.ShardDowntime))
+		for s, d := range f.ShardDowntime {
+			per[s] = fmt.Sprintf("s%d=%v", s, d)
+		}
+		avail += fmt.Sprintf(", shard-downtime=[%s], failover-reads=%d resync-pages=%d shard-stalls=%d",
+			strings.Join(per, " "), f.FailoverReads, f.ResyncPages, f.ShardStalls)
+	}
 	return fmt.Sprintf(
-		"chaos profile=%s seed=%d\n  injected: %v\n  recovered: fabric retries=%d drops=%d, ssd re-reads=%d, pool stalls=%d\n  pushdown: pool-down obs=%d ctx crashes=%d retries=%d local fallbacks=%d\n  crash-consistency: rollbacks=%d (pages=%d) shed=%d deadline-aborts=%d breaker opens=%d closes=%d short-circuits=%d",
-		f.Profile, f.Seed, f.Injected,
+		"chaos profile=%s seed=%d\n  injected: drops=%d corrupt=%d spikes=%d ctx-crashes=%d ctx-mid-crashes=%d ssd-errs=%d\n  availability: %s\n  recovered: fabric retries=%d drops=%d, ssd re-reads=%d, pool stalls=%d\n  pushdown: pool-down obs=%d shard-down obs=%d ctx crashes=%d retries=%d local fallbacks=%d\n  crash-consistency: rollbacks=%d (pages=%d) shed=%d deadline-aborts=%d breaker opens=%d closes=%d short-circuits=%d",
+		f.Profile, f.Seed,
+		i.Drops, i.Corruptions, i.Spikes, i.CtxCrashes, i.CtxMidCrashes, i.SSDReadErrors,
+		avail,
 		f.FabricRetries, f.FabricDrops, f.SSDReadRetries, f.PoolStalls,
-		f.PoolDownObserved, f.CtxCrashes, f.PushRetries, f.LocalFallbacks,
+		f.PoolDownObserved, f.ShardDownObserved, f.CtxCrashes, f.PushRetries, f.LocalFallbacks,
 		f.Rollbacks, f.RolledBackPages, f.Shed, f.DeadlineAborts,
 		f.BreakerOpens, f.BreakerCloses, f.BreakerShortCircuits)
 }
@@ -168,12 +194,24 @@ func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResul
 			SSDReadRetries: m.SSD.Stats().ReadRetries,
 			PoolStalls:     m.PoolStalls,
 		}
+		fr.PoolDowntime = fault.TotalDowntime(m.Fault.WindowsThrough(out.End), out.End)
+		if k := m.Cfg.Shards(); k > 1 {
+			fr.ShardDowntime = make([]sim.Time, k)
+			for s := 0; s < k; s++ {
+				fr.ShardDowntime[s] = fault.TotalDowntime(m.Fault.ShardWindowsThrough(s, out.End), out.End)
+				st := m.ShardStats[s]
+				fr.FailoverReads += st.FailoverReads
+				fr.ResyncPages += st.ResyncPages
+				fr.ShardStalls += st.Stalls
+			}
+		}
 		tot := m.Fabric.Total()
 		fr.FabricRetries = tot.Retries
 		fr.FabricDrops = tot.Drops
 		if out.RT != nil {
 			rs := out.RT.Stats()
 			fr.PoolDownObserved = rs.PoolDownObserved
+			fr.ShardDownObserved = rs.ShardDownObserved
 			fr.CtxCrashes = rs.CtxCrashes
 			fr.PushRetries = rs.Retries
 			fr.LocalFallbacks = rs.LocalFallbacks

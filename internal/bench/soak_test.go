@@ -36,11 +36,15 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	type profAgg struct {
-		injected fault.Counters
-		rt       core.RuntimeStats
-		stalls   int64
-		retries  int64
-		lines    []string
+		injected  fault.Counters
+		rt        core.RuntimeStats
+		stalls    int64
+		retries   int64
+		failovers int64
+		resync    int64
+		shStalls  int64
+		shardDown [maxChaosShards]sim.Time
+		lines     []string
 	}
 	agg := map[string]*profAgg{}
 
@@ -67,10 +71,17 @@ func TestChaosSoak(t *testing.T) {
 				a.rt = addRuntimeStats(a.rt, got.RT)
 				a.stalls += got.Stalls
 				a.retries += got.Fabric.Retries
+				a.failovers += got.Failovers
+				a.resync += got.ResyncPages
+				a.shStalls += got.ShardStalls
+				for s := range a.shardDown {
+					a.shardDown[s] += got.ShardDown[s]
+				}
 				a.lines = append(a.lines, fmt.Sprintf(
-					"%-8s seed=%-3d elapsed=%-14v injected={%v} rollbacks=%d shed=%d deadline-aborts=%d breaker-opens=%d fallbacks=%d",
+					"%-8s seed=%-3d elapsed=%-14v injected={%v} rollbacks=%d shed=%d deadline-aborts=%d breaker-opens=%d fallbacks=%d failovers=%d resync-pages=%d shard-stalls=%d",
 					w.name, seed, got.Elapsed, got.Plan, got.RT.Rollbacks, got.RT.Shed,
-					got.RT.DeadlineAborts, got.RT.BreakerOpens, got.RT.LocalFallbacks))
+					got.RT.DeadlineAborts, got.RT.BreakerOpens, got.RT.LocalFallbacks,
+					got.Failovers, got.ResyncPages, got.ShardStalls))
 			}
 		}
 	}
@@ -91,7 +102,11 @@ func TestChaosSoak(t *testing.T) {
 				Profile: prof, Seed: -1, Injected: a.injected,
 				FabricRetries: a.retries, PoolStalls: a.stalls,
 				SSDReadRetries:       a.injected.SSDReadErrors,
+				FailoverReads:        a.failovers,
+				ResyncPages:          a.resync,
+				ShardStalls:          a.shStalls,
 				PoolDownObserved:     a.rt.PoolDownObserved,
+				ShardDownObserved:    a.rt.ShardDownObserved,
 				CtxCrashes:           a.rt.CtxCrashes,
 				PushRetries:          a.rt.Retries,
 				LocalFallbacks:       a.rt.LocalFallbacks,
@@ -102,6 +117,17 @@ func TestChaosSoak(t *testing.T) {
 				BreakerOpens:         a.rt.BreakerOpens,
 				BreakerCloses:        a.rt.BreakerCloses,
 				BreakerShortCircuits: a.rt.BreakerShortCircuits,
+			}
+			// Per-shard availability: aggregate downtime per shard index
+			// across the profile's runs (trailing all-zero shards trimmed).
+			last := -1
+			for s, d := range a.shardDown {
+				if d > 0 {
+					last = s
+				}
+			}
+			if last >= 0 {
+				fr.ShardDowntime = append(fr.ShardDowntime, a.shardDown[:last+1]...)
 			}
 			body := fmt.Sprintf("aggregate over %d runs\n%s\n\n%s\n",
 				len(a.lines), fr, strings.Join(a.lines, "\n"))
@@ -121,11 +147,13 @@ func addCounters(a, b fault.Counters) fault.Counters {
 	a.CtxMidCrashes += b.CtxMidCrashes
 	a.SSDReadErrors += b.SSDReadErrors
 	a.PoolWindows += b.PoolWindows
+	a.ShardWindows += b.ShardWindows
 	return a
 }
 
 func addRuntimeStats(a, b core.RuntimeStats) core.RuntimeStats {
 	a.PoolDownObserved += b.PoolDownObserved
+	a.ShardDownObserved += b.ShardDownObserved
 	a.CtxCrashes += b.CtxCrashes
 	a.Retries += b.Retries
 	a.LocalFallbacks += b.LocalFallbacks

@@ -143,6 +143,10 @@ type runSpec struct {
 	pushOps    []string
 	pushFlags  core.Flags
 	hwMut      func(*hw.Config)
+	shards     int            // pool shards (0 = Options.PoolShards)
+	replicas   int            // per-page copies (0 = Options.Replicas)
+	chaos      *fault.Profile // fault profile override (nil = Options.ChaosProfile)
+	chaosSeed  int64          // seed override for the chaos plan (0 = Options)
 }
 
 // runOut is one execution's result.
@@ -152,6 +156,9 @@ type runOut struct {
 	Proc    *ddc.Process
 	Exec    *profile.Exec
 	RT      *core.Runtime
+	// End is the driving thread's clock when the run finished (load +
+	// query); downtime accounting clips fault windows to it.
+	End sim.Time
 	// Attr partitions the driving thread's query-phase time by component
 	// (always collected; costs no virtual time).
 	Attr metrics.Attribution
@@ -188,6 +195,14 @@ func run(w workload, opts Options, spec runSpec) runOut {
 	if spec.hwMut != nil {
 		spec.hwMut(&cfg.HW)
 	}
+	if cfg.Disaggregated {
+		if cfg.PoolShards = spec.shards; cfg.PoolShards == 0 {
+			cfg.PoolShards = opts.PoolShards
+		}
+		if cfg.Replicas = spec.replicas; cfg.Replicas == 0 {
+			cfg.Replicas = opts.Replicas
+		}
+	}
 	m := ddc.MustMachine(cfg)
 	if opts.TraceCap > 0 {
 		m.AttachTrace(trace.New(opts.TraceCap))
@@ -197,12 +212,21 @@ func run(w workload, opts Options, spec runSpec) runOut {
 		reg = metrics.NewRegistry()
 		m.AttachMetrics(reg)
 	}
-	if prof, err := fault.ByName(opts.ChaosProfile); err == nil && prof.Name != "none" {
-		seed := opts.ChaosSeed
+	chaosProf := fault.Profile{Name: "none"}
+	if spec.chaos != nil {
+		chaosProf = *spec.chaos
+	} else if prof, err := fault.ByName(opts.ChaosProfile); err == nil {
+		chaosProf = prof
+	}
+	if chaosProf.Name != "none" {
+		seed := spec.chaosSeed
+		if seed == 0 {
+			seed = opts.ChaosSeed
+		}
 		if seed == 0 {
 			seed = opts.Seed
 		}
-		m.AttachFault(fault.NewPlan(prof, seed))
+		m.AttachFault(fault.NewPlan(chaosProf, seed))
 	}
 	p := m.NewProcess()
 	runFn := w.Build(p, opts)
@@ -249,6 +273,7 @@ func run(w workload, opts Options, spec runSpec) runOut {
 	runFn(ex)
 	return runOut{
 		Time: ex.Total(), Profile: ex.Profile(), Proc: p, Exec: ex, RT: rt,
+		End: th.Now(),
 		Attr: metrics.Attribution{
 			TotalNs: int64(th.Now() - tstart),
 			Comps:   m.Times.Sub(attrBefore),

@@ -145,6 +145,61 @@ func TestPushdownAtExactRecoveryInstant(t *testing.T) {
 	}
 }
 
+// WaitPoolUp with no fault plan attached never stalls and never advances
+// the clock.
+func TestWaitPoolUpNilPlan(t *testing.T) {
+	m := ddc.MustMachine(ddc.BaseDDC(64 * mem.PageSize))
+	th := sim.NewThread("t")
+	th.AdvanceTo(150 * sim.Microsecond)
+	if m.WaitPoolUp(th) {
+		t.Fatal("WaitPoolUp stalled with no fault plan")
+	}
+	if th.Now() != 150*sim.Microsecond {
+		t.Fatalf("WaitPoolUp advanced the clock to %v with no fault plan", th.Now())
+	}
+	if m.PoolStalls != 0 {
+		t.Fatalf("PoolStalls = %d, want 0", m.PoolStalls)
+	}
+}
+
+// A query at exactly the window's Up instant observes the pool up: no
+// stall, no clock movement (half-open windows).
+func TestWaitPoolUpAtExactUpBoundary(t *testing.T) {
+	const down, up = 100 * sim.Microsecond, 200 * sim.Microsecond
+	m := ddc.MustMachine(ddc.BaseDDC(64 * mem.PageSize))
+	m.AttachFault(fault.NewWindowPlan(fault.Window{Down: down, Up: up}))
+	th := sim.NewThread("t")
+	th.AdvanceTo(up)
+	if m.WaitPoolUp(th) {
+		t.Fatal("WaitPoolUp stalled at exactly Up")
+	}
+	if th.Now() != up || m.PoolStalls != 0 {
+		t.Fatalf("now=%v PoolStalls=%d, want %v and 0", th.Now(), m.PoolStalls, up)
+	}
+}
+
+// Back-to-back windows [100,200) + [200,300): a waiter entering the first
+// window wakes at its Up instant, finds the second window already begun,
+// and keeps waiting — one WaitPoolUp call rides both windows through to
+// 300µs and counts as a single stall.
+func TestWaitPoolUpAdjacentWindows(t *testing.T) {
+	const d1, u1 = 100 * sim.Microsecond, 200 * sim.Microsecond
+	const d2, u2 = 200 * sim.Microsecond, 300 * sim.Microsecond
+	m := ddc.MustMachine(ddc.BaseDDC(64 * mem.PageSize))
+	m.AttachFault(fault.NewWindowPlan(fault.Window{Down: d1, Up: u1}, fault.Window{Down: d2, Up: u2}))
+	th := sim.NewThread("t")
+	th.AdvanceTo(150 * sim.Microsecond)
+	if !m.WaitPoolUp(th) {
+		t.Fatal("WaitPoolUp inside the first window reported no stall")
+	}
+	if th.Now() != u2 {
+		t.Fatalf("woke at %v, want %v (the second window's Up)", th.Now(), u2)
+	}
+	if m.PoolStalls != 1 {
+		t.Fatalf("PoolStalls = %d, want 1 (one stall spanning both windows)", m.PoolStalls)
+	}
+}
+
 // A zero-length window (Down == Up) is inert: no instant observes the pool
 // down, paging never stalls, pushdowns succeed, and no crash/recover edges
 // appear — but the plan still counts the window as scheduled.

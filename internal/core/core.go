@@ -183,6 +183,15 @@ var (
 	// if fn never ran and retrying or falling back is safe.
 	ErrDeadlineExceeded = errors.New("teleport: pushdown deadline budget exceeded")
 
+	// ErrShardDown reports that a pushdown's resident pages include one
+	// whose entire replica set — primary shard plus every backup — is down
+	// in a sharded memory pool, so the pool cannot serve the call's working
+	// set. The pushed function has NOT run; the RetryThenLocal policy waits
+	// for the earliest shard restart and retries before degrading to local
+	// execution. Like every sentinel here it must be matched with
+	// errors.Is, never ==.
+	ErrShardDown = errors.New("teleport: memory-pool shard down (no live replica)")
+
 	// ErrNotDisaggregated reports a pushdown on a monolithic machine.
 	ErrNotDisaggregated = errors.New("teleport: pushdown requires a disaggregated machine")
 )
@@ -199,7 +208,8 @@ func Recoverable(err error) bool {
 		errors.Is(err, ErrMemoryPoolDown) ||
 		errors.Is(err, ErrContextCrashed) ||
 		errors.Is(err, ErrQueueFull) ||
-		errors.Is(err, ErrDeadlineExceeded)
+		errors.Is(err, ErrDeadlineExceeded) ||
+		errors.Is(err, ErrShardDown)
 }
 
 // RemoteError wraps a panic thrown by the pushed function; it is rethrown

@@ -77,6 +77,11 @@ type Runtime struct {
 	downObs bool // last heartbeat observation, for crash/recover trace edges
 	agg     RuntimeStats
 
+	// shardRecoverAt is the earliest shard restart that unblocks the last
+	// ErrShardDown-shed call, so the recovery policy waits for it instead
+	// of blind backoff.
+	shardRecoverAt sim.Time
+
 	brState    breakerState
 	brStreak   int      // consecutive recoverable failures while closed
 	brOpenedAt sim.Time // when the breaker last opened
@@ -114,10 +119,11 @@ type RuntimeStats struct {
 	Contentions   int64
 
 	// Failure/recovery counters (§3.2 failure handling).
-	PoolDownObserved int64 // heartbeat observations that found the pool down
-	CtxCrashes       int64 // temporary-context crashes injected (pre-commit + mid-execution)
-	Retries          int64 // pushdown re-attempts by the recovery policy
-	LocalFallbacks   int64 // pushdowns degraded to compute-side execution
+	PoolDownObserved  int64 // heartbeat observations that found the pool down
+	ShardDownObserved int64 // pushdowns shed because a resident page's replica set was down
+	CtxCrashes        int64 // temporary-context crashes injected (pre-commit + mid-execution)
+	Retries           int64 // pushdown re-attempts by the recovery policy
+	LocalFallbacks    int64 // pushdowns degraded to compute-side execution
 
 	// Crash-consistency and overload counters.
 	Shed                 int64 // requests rejected by admission control (queue full)
@@ -199,6 +205,55 @@ func (r *Runtime) poolDownAt(ts sim.Time) (recoverAt sim.Time, down bool) {
 		return 0, true
 	}
 	return r.P.M.Fault.PoolDownAt(ts)
+}
+
+// shardGate checks every resident page's shard availability on a sharded
+// pool: a page whose primary shard and every backup are all down sheds the
+// call with ErrShardDown (Recoverable), recording the earliest restart that
+// unblocks the working set so the retry policy can wait for it instead of
+// blind backoff. Free on single-shard pools.
+func (r *Runtime) shardGate(t *sim.Thread, entries []netmodel.PageEntry) error {
+	m := r.P.M
+	k := m.Cfg.Shards()
+	if k <= 1 || len(entries) == 0 {
+		return nil
+	}
+	// Resolve each shard's status once; the entries stripe across all of
+	// them.
+	rec := make([]sim.Time, k)
+	down := make([]bool, k)
+	for s := 0; s < k; s++ {
+		rec[s], down[s] = m.Fault.ShardDownAt(s, t.Now())
+	}
+	reps := m.Cfg.EffReplicas()
+	var waitUntil sim.Time
+	for _, e := range entries {
+		primary := ddc.ShardOf(mem.PageID(e.ID), k)
+		if !down[primary] {
+			continue
+		}
+		live := false
+		for i := 1; i < reps; i++ {
+			if !down[(primary+i)%k] {
+				live = true
+				break
+			}
+		}
+		if live {
+			continue
+		}
+		if waitUntil == 0 || rec[primary] < waitUntil {
+			waitUntil = rec[primary]
+		}
+	}
+	if waitUntil == 0 {
+		return nil
+	}
+	r.agg.ShardDownObserved++
+	r.shardRecoverAt = waitUntil
+	m.Metrics.Counter("push.shard-down").Inc()
+	m.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindShardDown, Who: t.Name()})
+	return ErrShardDown
 }
 
 // observeHeartbeat is one compute-side heartbeat observation at t's current
@@ -307,6 +362,10 @@ func (r *Runtime) PushdownWithPolicy(t *sim.Thread, fn Func, opts Options, pol R
 			if recoverAt, down := r.poolDownAt(t.Now()); down && recoverAt > 0 {
 				// Scheduled outage: wait for the controller restart.
 				t.AdvanceTo(recoverAt)
+			} else if errors.Is(err, ErrShardDown) && r.shardRecoverAt > t.Now() {
+				// Scheduled shard outage: wait for the earliest restart
+				// that unblocks the call's working set.
+				t.AdvanceTo(r.shardRecoverAt)
 			} else if backoff > 0 {
 				t.Advance(backoff)
 				if backoff < 64*pol.Backoff {
@@ -388,6 +447,12 @@ func (r *Runtime) Pushdown(t *sim.Thread, fn Func, opts Options) (Stats, error) 
 	tr.End(t, ss)
 	st.PreSync = t.Now() - mark
 	st.ResidentPages = len(entries)
+
+	// On a sharded pool the call only proceeds when every resident page it
+	// ships can be served — its primary shard up, or a replica live.
+	if err := r.shardGate(t, entries); err != nil {
+		return st, err
+	}
 
 	mark = t.Now()
 	runs, err := netmodel.EncodeRuns(entries)

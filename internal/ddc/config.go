@@ -45,6 +45,18 @@ type Config struct {
 	// fetches per miss, modelling LegoOS's caching/prefetching
 	// optimisations (§1). Zero disables prefetch.
 	PrefetchDepth int
+
+	// PoolShards splits the memory pool across this many controllers, each
+	// an independent crash domain under the fault plan's per-shard
+	// schedules; pages stripe across shards by page ID (ShardOf). 0 or 1
+	// keeps the single-controller pool. Only meaningful when Disaggregated.
+	PoolShards int
+
+	// Replicas keeps every page on this many distinct shards — its primary
+	// plus R−1 backups, written synchronously (Machine.ReplicatePage) — so
+	// reads fail over to a live replica during a single-shard outage. 0 or
+	// 1 disables replication. Requires Replicas ≤ PoolShards.
+	Replicas int
 }
 
 // Linux returns a monolithic server with unlimited local memory (the paper's
@@ -86,7 +98,37 @@ func (c *Config) Validate() error {
 	if !c.Disaggregated && (c.ComputeCacheBytes != 0 || c.MemoryPoolBytes != 0) {
 		return errConfig("pool sizes apply only to disaggregated machines")
 	}
+	if c.PoolShards < 0 || c.Replicas < 0 {
+		return errConfig("pool shards and replicas cannot be negative")
+	}
+	if !c.Disaggregated && (c.PoolShards > 1 || c.Replicas > 1) {
+		return errConfig("pool shards and replicas apply only to disaggregated machines")
+	}
+	if c.Replicas > 1 && c.Replicas > c.PoolShards {
+		return errConfig("replicas cannot exceed pool shards")
+	}
 	return nil
+}
+
+// Shards returns the effective shard count of the memory pool (≥ 1).
+func (c *Config) Shards() int {
+	if !c.Disaggregated || c.PoolShards <= 1 {
+		return 1
+	}
+	return c.PoolShards
+}
+
+// EffReplicas returns the effective per-page copy count, clamped to
+// [1, Shards()].
+func (c *Config) EffReplicas() int {
+	r := c.Replicas
+	if r <= 1 {
+		return 1
+	}
+	if k := c.Shards(); r > k {
+		return k
+	}
+	return r
 }
 
 // CachePages converts ComputeCacheBytes into whole pages.

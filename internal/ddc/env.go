@@ -560,8 +560,10 @@ func remoteFault(e *Env, pg mem.PageID, write bool) {
 	p := e.P
 	cfg := &p.M.Cfg.HW
 	// A remote fault issued during a memory-controller outage has nowhere
-	// to go: the compute pool stalls until the controller restarts.
-	p.M.WaitPoolUp(e.T)
+	// to go: the compute pool stalls until the controller restarts. On a
+	// sharded pool the fetch instead fails over to a live replica of the
+	// page's shard when the primary alone is down.
+	p.M.AccessPage(e.T, pg, false)
 	p.stats.RemoteFaults++
 	fstart := e.T.Now()
 	sp := p.M.Tracer().Begin(e.T, trace.KindRemoteFault, uint64(pg), b2i(write))
@@ -612,6 +614,7 @@ func evictAll(e *Env, victims []Evicted) {
 		if v.Dirty {
 			e.P.stats.Writebacks++
 			e.P.M.Fabric.Send(e.T, writebackBytes, netmodel.ClassWriteback)
+			e.P.M.ReplicatePage(e.T, v.Page, e.P.M.serveShard(e.T.Now(), v.Page))
 		}
 	}
 }

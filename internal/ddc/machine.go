@@ -49,6 +49,16 @@ type Machine struct {
 	// memory-controller outage.
 	PoolStalls int64
 
+	// ShardStats aggregates per-shard fault-domain activity (failover
+	// reads, re-sync replays, no-replica stalls) on multi-shard pools,
+	// indexed by shard. Nil on single-shard pools.
+	ShardStats []ShardStat
+
+	// resync holds, per shard, the journal of pages whose copy on that
+	// shard went stale during an outage; resyncShard replays it on
+	// recovery. Nil on single-shard pools.
+	resync []resyncQueue
+
 	spans *trace.Tracer // lazily built over Trace; see Tracer()
 }
 
@@ -62,6 +72,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m.SSD = storage.New(&m.Cfg.HW, mem.PageSize)
 	m.Fabric.SetTimes(m.Times)
 	m.SSD.SetTimes(m.Times)
+	if k := cfg.Shards(); k > 1 {
+		m.ShardStats = make([]ShardStat, k)
+		m.resync = make([]resyncQueue, k)
+	}
 	return m, nil
 }
 
@@ -135,7 +149,14 @@ func (m *Machine) WaitPoolUp(t *sim.Thread) bool {
 	}
 	m.PoolStalls++
 	start := t.Now()
-	t.AdvanceTo(recoverAt)
+	// Back-to-back windows ([a,b) directly followed by [b,c)) chain: the
+	// wake instant of one outage may land inside the next, so re-check
+	// until the controller is genuinely up. One stall is counted per call
+	// however many windows it spans.
+	for down {
+		t.AdvanceTo(recoverAt)
+		recoverAt, down = m.Fault.PoolDownAt(t.Now())
+	}
 	m.Times.Add(metrics.CompPoolStall, t.Now()-start)
 	m.Metrics.Counter("pool.stall").Inc()
 	m.Metrics.Histogram("pool.stall.ns").Observe(t.Now() - start)
@@ -316,8 +337,9 @@ func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
 	}
 	// Recursive fault to the storage pool (§2.1): controller message plus
 	// the device access. A crashed controller stalls the fault until it
-	// restarts.
-	p.M.WaitPoolUp(t)
+	// restarts; on a sharded pool the fault is served by the page's shard,
+	// failing over to a live replica during the shard's outage.
+	served := p.M.AccessPage(t, pg, write)
 	p.stats.StorageInFault++
 	sp := p.M.Tracer().Begin(t, trace.KindStorageFault, uint64(pg), b2i(write))
 	p.M.Fabric.RoundTrip(t, faultReqBytes, pageRespBytes, netmodel.ClassStorage)
@@ -332,6 +354,7 @@ func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
 			p.M.SSD.WritePage(t, uint64(v.Page))
 		}
 	}
+	p.M.ReplicatePage(t, pg, served)
 	p.M.Tracer().End(t, sp)
 	p.M.Metrics.Counter("fault.storage").Inc()
 	p.Epoch++
@@ -340,12 +363,13 @@ func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
 // WritebackPage models the compute pool flushing one dirty page to the
 // memory pool (eviction write-back, syncmem, eager sync).
 func (p *Process) WritebackPage(t *sim.Thread, pg mem.PageID) {
-	p.M.WaitPoolUp(t)
+	served := p.M.AccessPage(t, pg, true)
 	p.stats.Writebacks++
 	sp := p.M.Tracer().Begin(t, trace.KindWriteback, uint64(pg), 0)
 	p.M.Fabric.Send(t, writebackBytes, netmodel.ClassWriteback)
 	p.M.Tracer().End(t, sp)
 	p.M.Metrics.Counter("writeback").Inc()
+	p.M.ReplicatePage(t, pg, served)
 	p.Cache.ClearDirty(pg)
 	p.Epoch++
 }

@@ -1,0 +1,186 @@
+package ddc
+
+// This file is the sharded-pool fault-domain layer: with Config.PoolShards
+// K > 1 the memory pool is K controllers, each an independent crash domain
+// under the fault plan's per-shard schedules, and pages stripe across them
+// by page ID. With Config.Replicas R > 1 every page also lives on R−1
+// backup shards, written synchronously in virtual time, so a page access
+// whose primary shard is down fails over to a live replica instead of
+// stalling. Writes a down shard misses are queued in a deterministic
+// re-sync journal and replayed — with the transfer traffic charged — before
+// that shard serves traffic again. Every path here is skipped entirely on
+// single-shard pools, keeping K=1 machines byte-identical to the
+// single-controller model.
+
+import (
+	"teleport/internal/mem"
+	"teleport/internal/metrics"
+	"teleport/internal/netmodel"
+	"teleport/internal/sim"
+	"teleport/internal/trace"
+)
+
+// ShardOf maps a page to its primary shard by striping page IDs across the K
+// controllers. It is a pure function, so placement is identical across runs
+// and across the layers (paging, pushdown gate, figures) that compute it.
+func ShardOf(pg mem.PageID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(uint64(pg) % uint64(shards))
+}
+
+// ShardStat aggregates one shard's fault-domain activity.
+type ShardStat struct {
+	FailoverReads int64 // accesses served by a replica while this primary was down
+	ResyncPages   int64 // journaled pages re-replicated on recovery
+	Recoveries    int64 // re-sync replays performed
+	Stalls        int64 // accesses stalled because no replica was live either
+}
+
+// resyncQueue is one shard's pending re-sync journal: the pages whose copy
+// on that shard went stale during an outage, in first-miss order.
+type resyncQueue struct {
+	pages []mem.PageID
+	seen  map[mem.PageID]struct{}
+}
+
+// AccessPage routes one compute↔pool page operation on pg and returns the
+// shard that serves it. On single-shard pools it only performs the
+// whole-controller outage stall (WaitPoolUp) and returns 0. On multi-shard
+// pools it additionally: replays the serving shard's re-sync journal before
+// the shard serves traffic, redirects to a live replica when the primary is
+// down (one control round trip of failover latency, a "failover" span, and —
+// for writes — a journal entry so the primary is repaired on recovery), and
+// stalls to the primary's restart when no replica is live, exactly like a
+// whole-controller outage.
+func (m *Machine) AccessPage(t *sim.Thread, pg mem.PageID, write bool) int {
+	m.WaitPoolUp(t)
+	k := m.Cfg.Shards()
+	if k <= 1 {
+		return 0
+	}
+	primary := ShardOf(pg, k)
+	if _, down := m.Fault.ShardDownAt(primary, t.Now()); !down {
+		m.resyncShard(t, primary)
+		return primary
+	}
+	for i := 1; i < m.Cfg.EffReplicas(); i++ {
+		s := (primary + i) % k
+		if _, down := m.Fault.ShardDownAt(s, t.Now()); down {
+			continue
+		}
+		m.resyncShard(t, s)
+		sp := m.Tracer().Begin(t, trace.KindFailover, uint64(pg), int64(s))
+		m.Fabric.RoundTrip(t, ctrlMsgBytes, ctrlMsgBytes, netmodel.ClassPageFault)
+		m.Tracer().End(t, sp)
+		m.ShardStats[primary].FailoverReads++
+		m.Metrics.Counter("shard.failover").Inc()
+		if write {
+			m.journalResync(primary, pg)
+		}
+		return s
+	}
+	// No live replica: nowhere to get the page — stall to the primary's
+	// restart. The wake instant may land inside a directly adjacent window,
+	// so loop like WaitPoolUp does.
+	m.ShardStats[primary].Stalls++
+	start := t.Now()
+	for {
+		recoverAt, down := m.Fault.ShardDownAt(primary, t.Now())
+		if !down {
+			break
+		}
+		t.AdvanceTo(recoverAt)
+	}
+	m.Times.Add(metrics.CompPoolStall, t.Now()-start)
+	m.Metrics.Counter("shard.stall").Inc()
+	m.resyncShard(t, primary)
+	return primary
+}
+
+// ReplicatePage charges the synchronous replication fan-out of one page of
+// data entering the pool on shard served: every other shard in pg's replica
+// set receives a copy on the replica traffic class, or — when it is down — a
+// re-sync journal entry replayed on its recovery. No-op without replication
+// (Replicas ≤ 1), keeping unreplicated machines byte-identical.
+func (m *Machine) ReplicatePage(t *sim.Thread, pg mem.PageID, served int) {
+	r := m.Cfg.EffReplicas()
+	if r <= 1 {
+		return
+	}
+	k := m.Cfg.Shards()
+	primary := ShardOf(pg, k)
+	for i := 0; i < r; i++ {
+		s := (primary + i) % k
+		if s == served {
+			continue
+		}
+		if _, down := m.Fault.ShardDownAt(s, t.Now()); down {
+			m.journalResync(s, pg)
+			continue
+		}
+		m.Fabric.Send(t, writebackBytes, netmodel.ClassReplica)
+		m.Metrics.Counter("shard.replica-write").Inc()
+	}
+}
+
+// serveShard resolves which shard receives page data for pg at ts without
+// charging or stalling anything: the primary when up, else the first live
+// replica, else the primary (the transfer is buffered by the transport and
+// the re-sync journal repairs the rest). Eviction write-backs use it — they
+// are fire-and-forget and must not stall the evicting thread.
+func (m *Machine) serveShard(ts sim.Time, pg mem.PageID) int {
+	k := m.Cfg.Shards()
+	if k <= 1 {
+		return 0
+	}
+	primary := ShardOf(pg, k)
+	if _, down := m.Fault.ShardDownAt(primary, ts); !down {
+		return primary
+	}
+	for i := 1; i < m.Cfg.EffReplicas(); i++ {
+		s := (primary + i) % k
+		if _, down := m.Fault.ShardDownAt(s, ts); !down {
+			return s
+		}
+	}
+	return primary
+}
+
+// journalResync queues pg for re-replication to shard when it recovers.
+func (m *Machine) journalResync(shard int, pg mem.PageID) {
+	q := &m.resync[shard]
+	if q.seen == nil {
+		q.seen = make(map[mem.PageID]struct{})
+	}
+	if _, dup := q.seen[pg]; dup {
+		return
+	}
+	q.seen[pg] = struct{}{}
+	q.pages = append(q.pages, pg)
+}
+
+// resyncShard replays shard's re-sync journal after it recovered: every
+// journaled page is re-replicated to the shard (one page transfer each on
+// the replica class) under one "shard-recover" span, before the shard serves
+// traffic again. Callers guarantee the shard is up at t.Now(). Free when the
+// journal is empty, so healthy runs are unaffected.
+func (m *Machine) resyncShard(t *sim.Thread, shard int) {
+	q := &m.resync[shard]
+	n := len(q.pages)
+	if n == 0 {
+		return
+	}
+	sp := m.Tracer().Begin(t, trace.KindShardRecover, uint64(shard), int64(n))
+	for range q.pages {
+		m.Fabric.Send(t, pageRespBytes, netmodel.ClassReplica)
+	}
+	m.Tracer().End(t, sp)
+	m.ShardStats[shard].Recoveries++
+	m.ShardStats[shard].ResyncPages += int64(n)
+	m.Metrics.Counter("shard.resync-pages").Add(int64(n))
+	m.Metrics.Counter("shard.recovery").Inc()
+	q.pages = q.pages[:0]
+	clear(q.seen)
+}

@@ -59,6 +59,15 @@ type Profile struct {
 	PoolMeanUp   sim.Time
 	PoolMeanDown sim.Time
 
+	// ShardMeanUp and ShardMeanDown drive the per-shard crash schedules of
+	// a sharded memory pool (ddc.Config.PoolShards > 1): each shard gets
+	// its own independent schedule with these means, derived from its own
+	// RNG stream so the number of shards queried never shifts the
+	// whole-controller schedule above. ShardMeanUp == 0 disables per-shard
+	// crashes.
+	ShardMeanUp   sim.Time
+	ShardMeanDown sim.Time
+
 	// CtxCrashProb is the probability one pushdown's temporary user
 	// context crashes before the pushed function commits.
 	CtxCrashProb float64
@@ -91,13 +100,14 @@ type Counters struct {
 	CtxCrashes    int64 // pushdown context crashes injected (pre-commit)
 	CtxMidCrashes int64 // mid-execution context crashes armed
 	SSDReadErrors int64 // SSD read errors injected
-	PoolWindows   int64 // crash windows generated so far
+	PoolWindows   int64 // whole-controller crash windows generated so far
+	ShardWindows  int64 // per-shard crash windows generated so far (all shards)
 }
 
 // String summarises the counters.
 func (c Counters) String() string {
-	return fmt.Sprintf("drops=%d corrupt=%d spikes=%d ctx-crashes=%d ctx-mid-crashes=%d ssd-errs=%d crash-windows=%d",
-		c.Drops, c.Corruptions, c.Spikes, c.CtxCrashes, c.CtxMidCrashes, c.SSDReadErrors, c.PoolWindows)
+	return fmt.Sprintf("drops=%d corrupt=%d spikes=%d ctx-crashes=%d ctx-mid-crashes=%d ssd-errs=%d crash-windows=%d shard-windows=%d",
+		c.Drops, c.Corruptions, c.Spikes, c.CtxCrashes, c.CtxMidCrashes, c.SSDReadErrors, c.PoolWindows, c.ShardWindows)
 }
 
 // window is one memory-controller outage: down at [Down, Up).
@@ -134,8 +144,27 @@ type Plan struct {
 	cursor  sim.Time // end of the generated schedule
 	static  bool     // explicit NewWindowPlan schedule; never extended
 
+	// root is retained to derive per-shard crash streams lazily; Derive is
+	// a pure function of (seed, salt), so deriving shard streams on first
+	// use never shifts the layer streams above, and a run that never
+	// queries a shard draws nothing for it.
+	root   *sim.RNG
+	shards map[int]*shardSched
+
 	c Counters
 }
+
+// shardSched is one shard's independent crash schedule, with the same lazy
+// generation model as the whole-controller schedule.
+type shardSched struct {
+	rng     *sim.RNG
+	windows []window
+	cursor  sim.Time
+	static  bool // explicit SetShardWindows schedule; never extended
+}
+
+// shardSaltBase offsets shard stream salts past the fixed layer salts (1–5).
+const shardSaltBase = 0x100
 
 // NewPlan instantiates prof with the given seed.
 func NewPlan(prof Profile, seed int64) *Plan {
@@ -148,6 +177,7 @@ func NewPlan(prof Profile, seed int64) *Plan {
 		ctx:    root.Derive(3),
 		ctxMid: root.Derive(5),
 		ssd:    root.Derive(4),
+		root:   root,
 	}
 }
 
@@ -236,6 +266,173 @@ func (p *Plan) extendSchedule(at sim.Time) {
 		p.cursor = up
 		p.c.PoolWindows++
 	}
+}
+
+// shardSchedule returns shard's schedule, creating it on first use. The
+// stream is derived from the root RNG with a salt that is a pure function of
+// the shard index, so shard k's schedule is identical no matter how many
+// other shards exist or in what order they are queried.
+func (p *Plan) shardSchedule(shard int) *shardSched {
+	if p.shards == nil {
+		p.shards = make(map[int]*shardSched)
+	}
+	sc := p.shards[shard]
+	if sc == nil {
+		sc = &shardSched{rng: p.root.Derive(shardSaltBase + uint64(shard))}
+		p.shards[shard] = sc
+	}
+	return sc
+}
+
+// ShardDownAt reports whether pool shard shard is crashed at virtual time at;
+// if it is, recoverAt is when the shard restarts. Shards crash independently
+// of the whole controller (PoolDownAt) and of each other.
+func (p *Plan) ShardDownAt(shard int, at sim.Time) (recoverAt sim.Time, down bool) {
+	if p == nil || shard < 0 {
+		return 0, false
+	}
+	sc := p.shards[shard]
+	if sc == nil {
+		if p.Prof.ShardMeanUp <= 0 {
+			return 0, false
+		}
+		sc = p.shardSchedule(shard)
+	}
+	p.extendShard(sc, at)
+	i := sort.Search(len(sc.windows), func(i int) bool { return sc.windows[i].Up > at })
+	if i < len(sc.windows) && sc.windows[i].Down <= at {
+		return sc.windows[i].Up, true
+	}
+	return 0, false
+}
+
+// extendShard generates shard crash windows until sc covers at.
+func (p *Plan) extendShard(sc *shardSched, at sim.Time) {
+	if sc.static || p.Prof.ShardMeanUp <= 0 {
+		return
+	}
+	mu, md := p.Prof.ShardMeanUp, p.Prof.ShardMeanDown
+	if md <= 0 {
+		md = sim.Millisecond
+	}
+	for sc.cursor <= at {
+		down := sc.cursor + sc.rng.Duration(mu/2, mu+mu/2)
+		up := down + sc.rng.Duration(md/2, md+md/2)
+		sc.windows = append(sc.windows, window{Down: down, Up: up})
+		sc.cursor = up
+		p.c.ShardWindows++
+	}
+}
+
+// SetShardWindows pins shard's crash schedule to exactly the given windows —
+// sorted by Down, non-overlapping — overriding any randomised schedule the
+// profile would generate for it. Availability tests use it to place a shard
+// outage at exact virtual-time instants.
+func (p *Plan) SetShardWindows(shard int, ws ...Window) {
+	if p == nil || shard < 0 {
+		return
+	}
+	sc := p.shardSchedule(shard)
+	sc.static = true
+	sc.windows = nil
+	var prev sim.Time
+	for _, w := range ws {
+		if w.Up < w.Down || w.Down < prev {
+			panic(fmt.Sprintf("fault: SetShardWindows windows must be sorted and non-overlapping, got [%v,%v) after %v",
+				w.Down, w.Up, prev))
+		}
+		prev = w.Up
+		sc.windows = append(sc.windows, window{Down: w.Down, Up: w.Up})
+		p.c.ShardWindows++
+	}
+	sc.cursor = prev
+}
+
+// WindowsThrough returns the whole-controller crash windows that begin before
+// at, oldest first, extending a randomised schedule as needed. Reports use it
+// to turn the schedule into concrete downtime (TotalDowntime) instead of an
+// opaque window count.
+func (p *Plan) WindowsThrough(at sim.Time) []Window {
+	if p == nil || (p.Prof.PoolMeanUp <= 0 && !p.static) {
+		return nil
+	}
+	p.extendSchedule(at)
+	return copyWindows(p.windows, at)
+}
+
+// ShardWindowsThrough is WindowsThrough for one pool shard's schedule.
+func (p *Plan) ShardWindowsThrough(shard int, at sim.Time) []Window {
+	if p == nil || shard < 0 {
+		return nil
+	}
+	sc := p.shards[shard]
+	if sc == nil {
+		if p.Prof.ShardMeanUp <= 0 {
+			return nil
+		}
+		sc = p.shardSchedule(shard)
+	}
+	p.extendShard(sc, at)
+	return copyWindows(sc.windows, at)
+}
+
+func copyWindows(ws []window, at sim.Time) []Window {
+	var out []Window
+	for _, w := range ws {
+		if w.Down >= at {
+			break
+		}
+		out = append(out, Window(w))
+	}
+	return out
+}
+
+// TotalDowntime sums each window's overlap with [0, through). The windows
+// need not be clipped: overlap past through is excluded.
+func TotalDowntime(ws []Window, through sim.Time) sim.Time {
+	var total sim.Time
+	for _, w := range ws {
+		up := w.Up
+		if up > through {
+			up = through
+		}
+		if up > w.Down {
+			total += up - w.Down
+		}
+	}
+	return total
+}
+
+// UnionDowntime returns the length of the union of the windows' overlap with
+// [0, through) — the virtual time during which at least one of the schedules
+// the windows came from was down ("degraded mode" when fed every shard's
+// windows). The input may be unsorted and overlapping; it is not modified.
+func UnionDowntime(ws []Window, through sim.Time) sim.Time {
+	if len(ws) == 0 {
+		return 0
+	}
+	sorted := make([]Window, len(ws))
+	copy(sorted, ws)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Down != sorted[j].Down {
+			return sorted[i].Down < sorted[j].Down
+		}
+		return sorted[i].Up < sorted[j].Up
+	})
+	var total sim.Time
+	cur := sorted[0]
+	for _, w := range sorted[1:] {
+		if w.Down <= cur.Up {
+			if w.Up > cur.Up {
+				cur.Up = w.Up
+			}
+			continue
+		}
+		total += TotalDowntime([]Window{cur}, through)
+		cur = w
+	}
+	total += TotalDowntime([]Window{cur}, through)
+	return total
 }
 
 // CtxCrash decides whether one pushdown's temporary context crashes before

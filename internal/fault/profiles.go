@@ -76,9 +76,68 @@ func Chaos() Profile {
 	return p
 }
 
+// ShardFlap crashes individual pool shards roughly every 2 ms of virtual
+// time for ~200 µs each (~9% per-shard downtime), with the whole controller
+// staying up — the pure partial-failure regime that replication and
+// failover reads exist for. The cadence is deliberately much faster than
+// the whole-controller profiles so even millisecond-scale workloads cross
+// several outages per shard.
+func ShardFlap() Profile {
+	return Profile{
+		Name:          "shard-flap",
+		Description:   "each pool shard crashes ~every 2ms for ~200µs (controller stays up)",
+		ShardMeanUp:   2 * sim.Millisecond,
+		ShardMeanDown: 200 * sim.Microsecond,
+	}
+}
+
+// ShardChaos layers per-shard crashes on top of the full chaos mix, so shard
+// failover runs concurrently with message loss, whole-controller outages,
+// context crashes, and SSD errors.
+func ShardChaos() Profile {
+	p := Chaos()
+	p.Name = "shard-chaos"
+	p.Description = "chaos + each pool shard crashes ~every 3ms for ~200µs"
+	p.ShardMeanUp = 3 * sim.Millisecond
+	p.ShardMeanDown = 200 * sim.Microsecond
+	return p
+}
+
+// Params renders the profile's active fault knobs on one line, for the CLI
+// profile listing. A profile that injects nothing reports "no faults".
+func (p Profile) Params() string {
+	var parts []string
+	if nf := p.Net[0]; nf.DropProb > 0 || nf.CorruptProb > 0 || nf.SpikeProb > 0 {
+		s := fmt.Sprintf("net drop=%.3g corrupt=%.3g spike=%.3g", nf.DropProb, nf.CorruptProb, nf.SpikeProb)
+		if nf.SpikeProb > 0 {
+			s += fmt.Sprintf("×[%v,%v]", sim.Time(nf.SpikeMinNs), sim.Time(nf.SpikeMaxNs))
+		}
+		parts = append(parts, s)
+	}
+	if p.PoolMeanUp > 0 {
+		parts = append(parts, fmt.Sprintf("pool mean-up=%v mean-down=%v", p.PoolMeanUp, p.PoolMeanDown))
+	}
+	if p.ShardMeanUp > 0 {
+		parts = append(parts, fmt.Sprintf("shard mean-up=%v mean-down=%v", p.ShardMeanUp, p.ShardMeanDown))
+	}
+	if p.CtxCrashProb > 0 {
+		parts = append(parts, fmt.Sprintf("ctx-crash=%.3g", p.CtxCrashProb))
+	}
+	if p.CtxCrashMidProb > 0 {
+		parts = append(parts, fmt.Sprintf("ctx-mid-crash=%.3g", p.CtxCrashMidProb))
+	}
+	if p.SSDReadErrProb > 0 {
+		parts = append(parts, fmt.Sprintf("ssd-read-err=%.3g", p.SSDReadErrProb))
+	}
+	if len(parts) == 0 {
+		return "no faults"
+	}
+	return strings.Join(parts, ", ")
+}
+
 // Profiles returns every shipped profile.
 func Profiles() []Profile {
-	return []Profile{FlakyNet(), CrashyPool(), FlakySSD(), MidCrash(), Chaos()}
+	return []Profile{FlakyNet(), CrashyPool(), FlakySSD(), MidCrash(), Chaos(), ShardFlap(), ShardChaos()}
 }
 
 // ProfileNames lists the shipped profile names.

@@ -107,12 +107,12 @@ func TestCtxCrashMidDisabled(t *testing.T) {
 func TestCountersStringIncludesAllFields(t *testing.T) {
 	c := Counters{
 		Drops: 1, Corruptions: 2, Spikes: 3, CtxCrashes: 4,
-		CtxMidCrashes: 5, SSDReadErrors: 6, PoolWindows: 7,
+		CtxMidCrashes: 5, SSDReadErrors: 6, PoolWindows: 7, ShardWindows: 8,
 	}
 	s := c.String()
 	for _, want := range []string{
 		"drops=1", "corrupt=2", "spikes=3", "ctx-crashes=4",
-		"ctx-mid-crashes=5", "ssd-errs=6", "crash-windows=7",
+		"ctx-mid-crashes=5", "ssd-errs=6", "crash-windows=7", "shard-windows=8",
 	} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("Counters.String() = %q, missing %q", s, want)

@@ -19,9 +19,10 @@ import "teleport/internal/sim"
 // Comp identifies one leaf attribution component.
 type Comp int
 
-// Leaf components. The six wire components mirror netmodel's traffic
+// Leaf components. The seven wire components mirror netmodel's traffic
 // classes in order (pagefault, writeback, coherence, pushdown, storage,
-// sync), which internal/netmodel relies on when mapping a Class to a Comp.
+// sync, replica), which internal/netmodel relies on when mapping a Class to
+// a Comp.
 const (
 	CompWirePageFault Comp = iota // demand-paging transfers compute↔memory
 	CompWireWriteback             // dirty-page eviction transfers
@@ -29,6 +30,7 @@ const (
 	CompWirePushdown              // pushdown request/response RPCs
 	CompWireStorage               // memory pool ↔ storage pool transfers
 	CompWireSync                  // syncmem / eager synchronisation transfers
+	CompWireReplica               // shard replication and recovery re-sync transfers
 	CompSSDRead                   // device page-in time
 	CompSSDWrite                  // device page-out time
 	CompFaultSW                   // page-fault handler software path
@@ -42,14 +44,14 @@ const (
 
 var compNames = [NumComps]string{
 	"wire/pagefault", "wire/writeback", "wire/coherence", "wire/pushdown",
-	"wire/storage", "wire/sync",
+	"wire/storage", "wire/sync", "wire/replica",
 	"ssd/read", "ssd/write",
 	"paging/fault-handler", "paging/prefetch", "paging/pool-stall",
 	"pushdown/queue", "pushdown/protocol", "pushdown/retry-wait",
 }
 
 var compLayers = [NumComps]string{
-	"net", "net", "net", "net", "net", "net",
+	"net", "net", "net", "net", "net", "net", "net",
 	"ssd", "ssd",
 	"paging", "paging", "paging",
 	"pushdown", "pushdown", "pushdown",

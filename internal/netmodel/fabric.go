@@ -30,11 +30,12 @@ const (
 	ClassPushdown               // pushdown request/response RPCs
 	ClassStorage                // memory pool ↔ storage pool paging
 	ClassSync                   // syncmem / eager synchronization transfers
+	ClassReplica                // shard replication + recovery re-sync transfers
 	numClasses
 )
 
 var classNames = [numClasses]string{
-	"pagefault", "writeback", "coherence", "pushdown", "storage", "sync",
+	"pagefault", "writeback", "coherence", "pushdown", "storage", "sync", "replica",
 }
 
 // String returns the class name.
@@ -55,7 +56,7 @@ func (c Class) Comp() metrics.Comp { return metrics.CompWirePageFault + metrics.
 
 // compCheck fails to compile if the wire components drift out of alignment
 // with the traffic classes.
-var _ = [1]struct{}{}[int(ClassSync)+int(metrics.CompWirePageFault)-int(metrics.CompWireSync)]
+var _ = [1]struct{}{}[int(ClassReplica)+int(metrics.CompWirePageFault)-int(metrics.CompWireReplica)]
 
 // Stat is a per-class counter set: delivered traffic plus the transient
 // faults survived getting it there.

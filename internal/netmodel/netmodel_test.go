@@ -157,7 +157,7 @@ func TestRetryCapDelivers(t *testing.T) {
 // counters, and checks Total aggregates and Reset clears all of them.
 func TestTotalAndResetAllClasses(t *testing.T) {
 	f, th := testFabric()
-	classes := []Class{ClassPageFault, ClassWriteback, ClassCoherence, ClassPushdown, ClassStorage, ClassSync}
+	classes := []Class{ClassPageFault, ClassWriteback, ClassCoherence, ClassPushdown, ClassStorage, ClassSync, ClassReplica}
 	if len(classes) != NumClasses() {
 		t.Fatalf("test covers %d classes, fabric has %d", len(classes), NumClasses())
 	}

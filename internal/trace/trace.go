@@ -52,6 +52,11 @@ const (
 	KindPushExec      // pushed-function execution inside a pushdown
 	KindPushSync      // pre (Arg 0) / post (Arg 1) pushdown synchronisation
 	KindPushRetryWait // recovery-policy backoff between pushdown attempts
+
+	// Sharded-pool fault-domain events.
+	KindShardDown    // pushdown shed: a resident page's whole replica set is down
+	KindFailover     // span: a page access served by a replica while its primary shard is down
+	KindShardRecover // span: re-sync journal replayed on a recovered shard (Arg: pages)
 	numKinds
 )
 
@@ -63,6 +68,7 @@ var kindNames = [numKinds]string{
 	"push-rollback", "shed", "breaker-open", "breaker-half", "breaker-close",
 	"rpc", "ssd-read", "ssd-write", "pushdown", "push-queue",
 	"push-setup", "push-exec", "push-sync", "push-retry-wait",
+	"shard-down", "failover", "shard-recover",
 }
 
 // String names the kind.
