@@ -11,6 +11,8 @@
 //	ddcsim -workload Q9,Q3,Q6 -platform teleport -parallel 4
 //	ddcsim -chaos-profile list
 //	ddcsim -workload Q6 -platform teleport -pool-shards 4 -replicas 2 -chaos-profile shard-flap
+//	ddcsim -workload Q6 -platform teleport -profile-out q6.folded -percentiles
+//	ddcsim -workload Q6 -platform teleport -chaos-profile stress -incident-out q6-incidents.jsonl -report-out q6-report.json
 //
 // A comma-separated -workload list runs the workloads concurrently across
 // host cores (bounded by -parallel); results print in list order and are
@@ -20,11 +22,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"teleport/internal/bench"
 	"teleport/internal/fault"
+	"teleport/internal/obs"
 	"teleport/internal/sim"
 	"teleport/internal/trace"
 )
@@ -54,6 +58,13 @@ func main() {
 		deadlineUs = flag.Float64("push-deadline-us", 0, "per-attempt pushdown deadline budget in virtual microseconds (0 = none)")
 		brThresh   = flag.Int("breaker-threshold", 0, "circuit-breaker consecutive-failure threshold (0 = default, negative = disabled)")
 		brCoolUs   = flag.Float64("breaker-cooldown-us", 0, "circuit-breaker open cooldown in virtual microseconds (0 = default)")
+
+		profileOut  = flag.String("profile-out", "", "write the virtual-time profile as folded stacks (flamegraph.pl/speedscope input) to this file")
+		percentiles = flag.Bool("percentiles", false, "print per-operation latency percentiles (p50/p95/p99/p999)")
+		exactQuant  = flag.Int("exact-quantiles", 0, "retain up to N raw samples per histogram so small operation classes report exact quantiles (0 = bucket interpolation only)")
+		incidentOut = flag.String("incident-out", "", "write flight-recorder incident records as JSONL to this file")
+		incidentN   = flag.Int("incident-events", 0, "trace-window size per incident (0 with -incident-out = default "+fmt.Sprint(obs.DefaultIncidentEvents)+")")
+		reportOut   = flag.String("report-out", "", "write the unified run report (attribution + percentiles + hot paths + incidents) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -69,11 +80,19 @@ func main() {
 		// generous window.
 		traceCap = 1 << 18
 	}
+	incidentEvents := *incidentN
+	if incidentEvents == 0 && *incidentOut != "" {
+		incidentEvents = obs.DefaultIncidentEvents
+	}
 	opts := bench.Options{
 		Scale: *scale, GraphNV: *graphNV, Words: *words,
 		Seed: *seed, CacheFrac: *cacheFrac, TraceCap: traceCap,
-		Metrics:      *metricsOut != "",
-		ChaosProfile: *chaosProf, ChaosSeed: *chaosSeed,
+		Metrics:        *metricsOut != "",
+		Profiling:      *profileOut != "" || *reportOut != "",
+		Percentiles:    *percentiles || *reportOut != "",
+		ExactQuantiles: *exactQuant,
+		IncidentEvents: incidentEvents,
+		ChaosProfile:   *chaosProf, ChaosSeed: *chaosSeed,
 		PoolShards: *poolShards, Replicas: *replicas,
 		PushQueueCap:     *queueCap,
 		PushDeadline:     sim.FromNs(*deadlineUs * 1e3),
@@ -86,8 +105,9 @@ func main() {
 		names[i] = strings.TrimSpace(names[i])
 	}
 	if len(names) > 1 {
-		if *advise || traceCap > 0 || *metricsOut != "" {
-			fmt.Fprintln(os.Stderr, "ddcsim: -advise/-trace*/-metrics-out need a single -workload")
+		if *advise || traceCap > 0 || *metricsOut != "" ||
+			*profileOut != "" || *incidentOut != "" || *reportOut != "" {
+			fmt.Fprintln(os.Stderr, "ddcsim: -advise/-trace*/-metrics-out/-profile-out/-incident-out/-report-out need a single -workload")
 			os.Exit(1)
 		}
 		results, err := bench.RunWorkloads(names, *platform, opts)
@@ -163,6 +183,34 @@ func main() {
 		}
 		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
 	}
+	if *profileOut != "" {
+		err := writeFile(*profileOut, res.SpanProfile.WriteFolded)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profile-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d span paths to %s (feed to flamegraph.pl --countname=ns)\n",
+			len(res.SpanProfile.Paths), *profileOut)
+	}
+	if *incidentOut != "" {
+		err := writeFile(*incidentOut, func(w io.Writer) error {
+			return obs.WriteIncidentsJSONL(w, res.Incidents)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incident-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d incident records to %s (%d triggered)\n",
+			len(res.Incidents), *incidentOut, res.IncidentsTotal)
+	}
+	if *reportOut != "" {
+		err := writeFile(*reportOut, bench.NewRunReport(res).WriteJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report-out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote unified run report to %s\n", *reportOut)
+	}
 	if *traceN > 0 && len(res.Trace) > 0 {
 		fmt.Printf("\nlast %d events:\n", len(res.Trace))
 		for _, e := range res.Trace {
@@ -172,7 +220,9 @@ func main() {
 }
 
 // printResult renders one workload execution: the virtual-time summary, the
-// per-operator profile, and (optionally) the attribution report.
+// per-operator profile, and (optionally) the attribution report plus
+// whatever observability sections the run collected (percentiles, hot span
+// paths, incident summary, chaos report).
 func printResult(res bench.WorkloadResult, report bool) {
 	fmt.Printf("%s on %s: %.6f s (virtual)\n\n", res.Workload, res.Platform, res.Seconds)
 	fmt.Printf("  %-14s %12s %10s %12s %8s\n", "operator", "time(s)", "calls", "remote(KB)", "pushed")
@@ -180,11 +230,23 @@ func printResult(res bench.WorkloadResult, report bool) {
 		fmt.Printf("  %-14s %12.6f %10d %12.1f %8v\n",
 			o.Name, o.Time.Seconds(), o.Calls, float64(o.RemoteByte)/1024, o.Pushed)
 	}
-	if report && res.Report != nil {
-		fmt.Println()
-		res.Report.Fprint(os.Stdout)
+	fmt.Println()
+	rr := bench.NewRunReport(res)
+	if !report {
+		rr.Attribution = nil
 	}
-	if res.Fault != nil {
-		fmt.Printf("\n%s\n", res.Fault)
+	rr.Fprint(os.Stdout)
+}
+
+// writeFile creates path and streams write into it, closing on either path.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -10,6 +10,8 @@
 //	teleport-bench -parallel 1          # force sequential data points
 //	teleport-bench -bench-out BENCH_5.json             # host benchmark report
 //	teleport-bench -bench-out b.json -bench-baseline BENCH_5.json
+//	teleport-bench -workload Q6 -percentiles           # forensic drill-down
+//	teleport-bench -workload Q6 -chaos-profile chaos -profile-out q6.folded -incident-out q6.jsonl
 //
 // Output is the same rows/series the paper reports; absolute values reflect
 // the scaled-down datasets (see DESIGN.md's scale rule and EXPERIMENTS.md
@@ -21,10 +23,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"teleport/internal/bench"
+	"teleport/internal/obs"
 )
 
 func main() {
@@ -45,6 +49,17 @@ func main() {
 		baseline  = flag.String("bench-baseline", "", "compare the report against this tracked baseline and fail on regression")
 		tolerance = flag.Float64("bench-tolerance", 0.25, "allowed wall-clock regression vs the baseline (0.25 = 25%)")
 		quiet     = flag.Bool("quiet", false, "suppress the figure tables (useful with -bench-out)")
+
+		workload    = flag.String("workload", "", "forensic mode: run this single workload (one of "+strings.Join(bench.WorkloadNames(), ", ")+") instead of figures")
+		platform    = flag.String("platform", "teleport", "forensic mode platform: one of "+strings.Join(bench.PlatformNames(), ", "))
+		chaosProf   = flag.String("chaos-profile", "", "forensic mode fault-injection profile (see internal/fault)")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "forensic mode fault plan seed (0 = reuse -seed)")
+		profileOut  = flag.String("profile-out", "", "forensic mode: write the virtual-time profile as folded stacks to this file")
+		percentiles = flag.Bool("percentiles", false, "forensic mode: print per-operation latency percentiles")
+		exactQuant  = flag.Int("exact-quantiles", 0, "forensic mode: retain up to N raw samples per histogram for exact quantiles")
+		incidentOut = flag.String("incident-out", "", "forensic mode: write flight-recorder incident records as JSONL to this file")
+		incidentN   = flag.Int("incident-events", 0, "forensic mode: trace-window size per incident (0 with -incident-out = default "+fmt.Sprint(obs.DefaultIncidentEvents)+")")
+		reportOut   = flag.String("report-out", "", "forensic mode: write the unified run report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -61,6 +76,19 @@ func main() {
 		Parallel:   *parallel,
 		PoolShards: *shards,
 		Replicas:   *replicas,
+	}
+	if *workload != "" {
+		if err := forensicRun(*workload, *platform, opts, forensicFlags{
+			chaosProfile: *chaosProf, chaosSeed: *chaosSeed,
+			profileOut: *profileOut, percentiles: *percentiles,
+			exactQuantiles: *exactQuant,
+			incidentOut:    *incidentOut, incidentEvents: *incidentN,
+			reportOut: *reportOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if !*quiet {
 		fmt.Printf("# teleport-bench scale=%g graph-nv=%d words=%d seed=%d cache-frac=%g\n\n",
@@ -117,4 +145,76 @@ func main() {
 		}
 		t.Fprint(os.Stdout)
 	}
+}
+
+// forensicFlags carries the single-workload observability knobs.
+type forensicFlags struct {
+	chaosProfile   string
+	chaosSeed      int64
+	profileOut     string
+	percentiles    bool
+	exactQuantiles int
+	incidentOut    string
+	incidentEvents int
+	reportOut      string
+}
+
+// forensicRun is the figure harness's drill-down mode: instead of
+// regenerating tables it executes one workload with the profiler, the
+// percentile extractor, and the flight recorder armed, prints the unified
+// report, and writes whichever artifacts were asked for. The knobs are all
+// passive, so the virtual times match the figure runs exactly.
+func forensicRun(workload, platform string, opts bench.Options, ff forensicFlags) error {
+	incidentEvents := ff.incidentEvents
+	if incidentEvents == 0 && ff.incidentOut != "" {
+		incidentEvents = obs.DefaultIncidentEvents
+	}
+	opts.ChaosProfile = ff.chaosProfile
+	opts.ChaosSeed = ff.chaosSeed
+	opts.Profiling = ff.profileOut != "" || ff.reportOut != ""
+	opts.Percentiles = ff.percentiles || ff.reportOut != ""
+	opts.ExactQuantiles = ff.exactQuantiles
+	opts.IncidentEvents = incidentEvents
+	res, err := bench.RunWorkload(workload, platform, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: %.6f s (virtual)\n\n", res.Workload, res.Platform, res.Seconds)
+	bench.NewRunReport(res).Fprint(os.Stdout)
+	if ff.profileOut != "" {
+		if err := writeFile(ff.profileOut, res.SpanProfile.WriteFolded); err != nil {
+			return fmt.Errorf("profile-out: %w", err)
+		}
+		fmt.Printf("wrote %d span paths to %s\n", len(res.SpanProfile.Paths), ff.profileOut)
+	}
+	if ff.incidentOut != "" {
+		err := writeFile(ff.incidentOut, func(w io.Writer) error {
+			return obs.WriteIncidentsJSONL(w, res.Incidents)
+		})
+		if err != nil {
+			return fmt.Errorf("incident-out: %w", err)
+		}
+		fmt.Printf("wrote %d incident records to %s (%d triggered)\n",
+			len(res.Incidents), ff.incidentOut, res.IncidentsTotal)
+	}
+	if ff.reportOut != "" {
+		if err := writeFile(ff.reportOut, bench.NewRunReport(res).WriteJSON); err != nil {
+			return fmt.Errorf("report-out: %w", err)
+		}
+		fmt.Printf("wrote unified run report to %s\n", ff.reportOut)
+	}
+	return nil
+}
+
+// writeFile creates path and streams write into it, closing on either path.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

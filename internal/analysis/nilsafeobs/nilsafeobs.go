@@ -24,7 +24,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "nilsafeobs",
 	Doc:  "requires exported pointer-receiver methods in observability packages to begin with a nil-receiver guard",
 	DefaultFilter: func(pkgPath string) bool {
-		return strings.HasSuffix(pkgPath, "/metrics") || strings.HasSuffix(pkgPath, "/trace")
+		return strings.HasSuffix(pkgPath, "/metrics") || strings.HasSuffix(pkgPath, "/trace") ||
+			strings.HasSuffix(pkgPath, "/obs")
 	},
 	Run: run,
 }

@@ -13,7 +13,7 @@ func TestNilsafeobs(t *testing.T) {
 
 func TestFilterScopesToObservability(t *testing.T) {
 	f := nilsafeobs.Analyzer.DefaultFilter
-	for _, in := range []string{"teleport/internal/metrics", "teleport/internal/trace"} {
+	for _, in := range []string{"teleport/internal/metrics", "teleport/internal/trace", "teleport/internal/obs"} {
 		if !f(in) {
 			t.Errorf("filter should include %s", in)
 		}

@@ -1,0 +1,67 @@
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The internal/obs shapes: a profile builder aggregating span paths in a
+// map, and an incident recorder diffing counter snapshots. Artifacts must
+// be byte-identical across runs, so any map range that feeds output has to
+// go through sorted keys; the counter diff is the sanctioned map-to-map
+// rewrite.
+
+type pathStat struct {
+	count int64
+	self  int64
+}
+
+// buildProfile aggregates into a map (order-insensitive) and then emits
+// through sorted keys: the clean profile-builder pattern.
+func buildProfile(samples []string) []string {
+	agg := make(map[string]*pathStat)
+	for _, s := range samples {
+		ps := agg[s]
+		if ps == nil {
+			ps = &pathStat{}
+			agg[s] = ps
+		}
+		ps.count++
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// counterDelta is the incident recorder's snapshot diff: map-to-map, so no
+// iteration order can leak into the incident record.
+func counterDelta(prev, cur map[string]int64) map[string]int64 {
+	delta := make(map[string]int64)
+	for k, v := range cur {
+		if d := v - prev[k]; d != 0 {
+			delta[k] = d
+		}
+	}
+	return delta
+}
+
+// writeFoldedUnsorted is the bug the analyzer exists to catch: folded
+// stacks emitted straight off the map would shuffle between runs.
+func writeFoldedUnsorted(agg map[string]*pathStat) {
+	for path, ps := range agg { // want `calls fmt\.Printf per key`
+		fmt.Printf("%s %d\n", path, ps.self)
+	}
+}
+
+// incidentKindsUnsorted leaks map order into a retained slice: the
+// incident-kind summary would differ run to run.
+func incidentKindsUnsorted(byKind map[string]int) []string {
+	var kinds []string
+	for k := range byKind { // want `appends to "kinds", which outlives the loop unsorted`
+		kinds = append(kinds, k)
+	}
+	return kinds
+}

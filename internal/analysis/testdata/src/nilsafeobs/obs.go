@@ -1,0 +1,65 @@
+package nilsafeobs
+
+// The internal/obs analysis layer joins the filter set: its incident
+// recorder and profile builder are handed around as possibly-nil handles
+// exactly like rings and registries, so the same guard discipline applies.
+
+// Recorder mimics obs.Recorder, the forensic flight recorder.
+type Recorder struct {
+	total     int
+	incidents []string
+}
+
+// Observe is the ring-observer hook: the canonical guard-first form.
+func (rc *Recorder) Observe(kind string) {
+	if rc == nil {
+		return
+	}
+	rc.total++
+	rc.incidents = append(rc.incidents, kind)
+}
+
+// Total reads through a nil handle safely.
+func (rc *Recorder) Total() int {
+	if rc == nil {
+		return 0
+	}
+	return rc.total
+}
+
+func (rc *Recorder) Flush() []string { // want `\(\*Recorder\)\.Flush must begin with a nil-receiver guard`
+	out := rc.incidents
+	rc.incidents = nil
+	return out
+}
+
+// Profile mimics obs.Profile, the virtual-time profile builder output.
+type Profile struct {
+	paths []string
+	self  []int64
+}
+
+// TopK guards before ranking.
+func (p *Profile) TopK(k int) []string {
+	if p == nil {
+		return nil
+	}
+	if k > len(p.paths) {
+		k = len(p.paths)
+	}
+	return p.paths[:k]
+}
+
+func (p *Profile) TotalSelfNs() int64 { // want `\(\*Profile\)\.TotalSelfNs must begin with a nil-receiver guard`
+	var n int64
+	for _, s := range p.self {
+		n += s
+	}
+	return n
+}
+
+// addPath is builder-internal plumbing: exempt.
+func (p *Profile) addPath(path string, self int64) {
+	p.paths = append(p.paths, path)
+	p.self = append(p.self, self)
+}

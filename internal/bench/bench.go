@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"unicode/utf8"
 
 	"teleport/internal/ddc"
 	"teleport/internal/mem"
@@ -41,6 +42,27 @@ type Options struct {
 	// RunWorkload returns its snapshot. Like tracing, recording costs no
 	// virtual time — a run with Metrics on and off is bit-identical.
 	Metrics bool
+
+	// Profiling folds the retained trace into a virtual-time profile
+	// (self/total time per span-kind path; see internal/obs). It implies an
+	// event ring: when TraceCap is zero a default-capacity ring is attached.
+	Profiling bool
+
+	// Percentiles extracts per-operation latency percentiles from the
+	// metrics histograms (implies a registry). ExactQuantiles, when
+	// positive, additionally retains up to that many raw samples per
+	// histogram so operations with bounded sample counts report exact
+	// quantiles instead of bucket-interpolated ones.
+	Percentiles    bool
+	ExactQuantiles int
+
+	// IncidentEvents, when positive, arms the forensic flight recorder: each
+	// degrade-class event (rollback, shed, breaker-open, shard-down,
+	// fallback-local) snapshots the last IncidentEvents trace events plus a
+	// counter delta into an incident record (see internal/obs). Implies an
+	// event ring, like Profiling. All three knobs are passive: same-seed
+	// runs with them on and off are bit-identical.
+	IncidentEvents int
 
 	// ChaosProfile names a fault-injection profile (see internal/fault;
 	// "" or "none" disables injection). Faults perturb virtual time, never
@@ -122,12 +144,12 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s ==\n", t.Figure, t.Title)
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -149,10 +171,13 @@ func (t *Table) Fprint(w io.Writer) {
 }
 
 func pad(s string, n int) string {
-	if len(s) >= n {
+	// Rune count, not byte length: cell text may hold multi-byte runes
+	// ("µs") and byte-width padding would misalign those columns.
+	w := utf8.RuneCountInString(s)
+	if w >= n {
 		return s
 	}
-	return s + strings.Repeat(" ", n-len(s))
+	return s + strings.Repeat(" ", n-w)
 }
 
 // Runner regenerates one figure.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"teleport/internal/obs"
 	"teleport/internal/trace"
 )
 
@@ -159,6 +160,177 @@ func TestMetricsAndTraceExportDeterministic(t *testing.T) {
 	if !sawPushChild || !sawFault {
 		t.Fatalf("trace lacks nested pushdown phases (%v) or fault spans (%v)",
 			sawPushChild, sawFault)
+	}
+}
+
+// The extended golden guarantee: arming the whole analysis layer —
+// profiler, percentile extractor (exact-quantile mode included), and the
+// flight recorder — changes nothing about the simulation. Same-seed runs
+// with and without it report identical answers, virtual times, and fault
+// counters, on clean and chaos profiles alike.
+func TestAnalysisLayerDoesNotPerturbRuns(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		workload string
+		platform string
+		chaos    string
+	}{
+		{"clean-teleport", "Q6", "teleport", ""},
+		{"clean-base", "SSSP", "base-ddc", ""},
+		{"chaos-teleport", "Q6", "teleport", "chaos"},
+		{"midcrash-teleport", "Q6", "teleport", "mid-crash"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := obsOpts()
+			plain.ChaosProfile = tc.chaos
+			armed := plain
+			armed.Profiling = true
+			armed.Percentiles = true
+			armed.ExactQuantiles = 4096
+			armed.IncidentEvents = 32
+
+			a, err := RunWorkload(tc.workload, tc.platform, plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunWorkload(tc.workload, tc.platform, armed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Nanos != b.Nanos {
+				t.Fatalf("analysis layer perturbed virtual time: %dns (off) vs %dns (on)",
+					a.Nanos, b.Nanos)
+			}
+			aj, _ := json.Marshal(a.Report)
+			bj, _ := json.Marshal(b.Report)
+			if !bytes.Equal(aj, bj) {
+				t.Fatalf("attribution diverged:\noff: %s\non:  %s", aj, bj)
+			}
+			if tc.chaos != "" {
+				if a.Fault == nil || b.Fault == nil {
+					t.Fatal("chaos run missing a fault report")
+				}
+				// Fault counters must match; the armed run additionally
+				// carries tail percentiles, so compare with those cleared.
+				bf := *b.Fault
+				bf.PushE2E, bf.RemoteFault, bf.PoolStall = nil, nil, nil
+				af, _ := json.Marshal(a.Fault)
+				bfj, _ := json.Marshal(&bf)
+				if !bytes.Equal(af, bfj) {
+					t.Fatalf("fault counters diverged:\noff: %s\non:  %s", af, bfj)
+				}
+			}
+			if b.SpanProfile == nil || len(b.SpanProfile.Paths) == 0 {
+				t.Fatal("armed run produced no span profile")
+			}
+			if len(b.Latency) == 0 {
+				t.Fatal("armed run produced no latency summary")
+			}
+		})
+	}
+}
+
+// Same-seed reruns with the full analysis layer must serialise
+// byte-identical artifacts: folded stacks, incident JSONL, and the unified
+// run-report JSON.
+func TestAnalysisArtifactsDeterministic(t *testing.T) {
+	opts := obsOpts()
+	opts.ChaosProfile = "chaos"
+	opts.Profiling = true
+	opts.Percentiles = true
+	opts.ExactQuantiles = 4096
+	opts.IncidentEvents = 32
+
+	render := func() (folded, jsonl, report []byte) {
+		res, err := RunWorkload("Q6", "teleport", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fb, ib, rb bytes.Buffer
+		if err := res.SpanProfile.WriteFolded(&fb); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteIncidentsJSONL(&ib, res.Incidents); err != nil {
+			t.Fatal(err)
+		}
+		if err := NewRunReport(res).WriteJSON(&rb); err != nil {
+			t.Fatal(err)
+		}
+		return fb.Bytes(), ib.Bytes(), rb.Bytes()
+	}
+	f1, i1, r1 := render()
+	f2, i2, r2 := render()
+	if !bytes.Equal(f1, f2) {
+		t.Fatal("folded stacks differ across same-seed reruns")
+	}
+	if !bytes.Equal(i1, i2) {
+		t.Fatal("incident JSONL differs across same-seed reruns")
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("run-report JSON differs across same-seed reruns")
+	}
+	if len(f1) == 0 || len(r1) == 0 {
+		t.Fatal("artifacts empty")
+	}
+	// The chaos profile's mid-run crash must have tripped the recorder.
+	if len(i1) == 0 {
+		t.Fatal("chaos run recorded no incidents")
+	}
+	// Every folded line is "path selfNs".
+	for _, line := range bytes.Split(bytes.TrimSpace(f1), []byte("\n")) {
+		if len(bytes.Fields(line)) != 2 {
+			t.Fatalf("malformed folded line %q", line)
+		}
+	}
+}
+
+// The percentile surface is wired through: exact mode engages under a
+// sample cap, the FaultReport carries tail pointers on chaos runs, and the
+// profile's hot path agrees with the attribution report's dominant
+// component.
+func TestPercentileAndProfileWiring(t *testing.T) {
+	opts := obsOpts()
+	opts.ChaosProfile = "chaos"
+	opts.Profiling = true
+	opts.Percentiles = true
+	opts.ExactQuantiles = 1 << 16
+	opts.IncidentEvents = 16
+	res, err := RunWorkload("Q6", "teleport", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Latency) == 0 {
+		t.Fatal("no latency summary")
+	}
+	sawE2E := false
+	for _, ol := range res.Latency {
+		if !ol.Exact {
+			t.Fatalf("%s not exact despite a %d sample cap (n=%d)", ol.Name, opts.ExactQuantiles, ol.Count)
+		}
+		if ol.P50 > ol.P999 || ol.P999 > float64(ol.MaxNs) {
+			t.Fatalf("%s quantiles inconsistent: %+v", ol.Name, ol.Percentiles)
+		}
+		if ol.Name == "push.e2e.ns" {
+			sawE2E = true
+		}
+	}
+	if !sawE2E {
+		t.Fatal("teleport run published no push.e2e.ns histogram")
+	}
+	if res.Fault == nil || res.Fault.PushE2E == nil || res.Fault.RemoteFault == nil {
+		t.Fatalf("fault report missing tail percentiles: %+v", res.Fault)
+	}
+	if res.IncidentsTotal == 0 || len(res.Incidents) == 0 {
+		t.Fatal("chaos run tripped no incidents")
+	}
+	rr := NewRunReport(res)
+	if len(rr.HotPaths) == 0 || rr.ProfileSelfNs <= 0 {
+		t.Fatalf("run report has no hot paths: %+v", rr)
+	}
+	var buf bytes.Buffer
+	rr.Fprint(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("run report rendered empty")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"teleport/internal/fault"
 	"teleport/internal/hw"
 	"teleport/internal/metrics"
+	"teleport/internal/obs"
 	"teleport/internal/profile"
 	"teleport/internal/sim"
 	"teleport/internal/trace"
@@ -50,6 +51,20 @@ type WorkloadResult struct {
 	// Fault summarises injection and recovery when Options.ChaosProfile is
 	// set (nil otherwise).
 	Fault *FaultReport
+
+	// SpanProfile is the virtual-time profile folded from the trace when
+	// Options.Profiling is set (nil otherwise; see internal/obs).
+	SpanProfile *obs.Profile
+	// Latency holds per-operation latency percentiles when
+	// Options.Percentiles is set (nil otherwise).
+	Latency []obs.OpLatency
+	// Incidents holds the flight recorder's retained records when
+	// Options.IncidentEvents > 0; IncidentsTotal counts every trigger, even
+	// beyond the retention bound.
+	Incidents      []obs.Incident
+	IncidentsTotal int
+	// DroppedEvents is the trace ring's wraparound loss (0 without a ring).
+	DroppedEvents uint64
 }
 
 // FaultReport aggregates what a chaos run injected and how each layer
@@ -91,6 +106,14 @@ type FaultReport struct {
 	BreakerOpens         int64 // circuit-breaker open transitions
 	BreakerCloses        int64 // circuit-breaker close transitions
 	BreakerShortCircuits int64 // calls short-circuited to local while open
+
+	// Tail latency under injection (Options.Percentiles runs only; nil
+	// otherwise): the operation classes whose distribution chaos distorts
+	// most — end-to-end pushdown (retries, backoff and fallbacks included),
+	// remote page faults, and paging stalls waiting out pool outages.
+	PushE2E     *obs.Percentiles // push.e2e.ns
+	RemoteFault *obs.Percentiles // fault.remote.ns
+	PoolStall   *obs.Percentiles // pool.stall.ns
 }
 
 // String renders the report as one summary block. A nil report (fault-free
@@ -112,7 +135,7 @@ func (f *FaultReport) String() string {
 		avail += fmt.Sprintf(", shard-downtime=[%s], failover-reads=%d resync-pages=%d shard-stalls=%d",
 			strings.Join(per, " "), f.FailoverReads, f.ResyncPages, f.ShardStalls)
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"chaos profile=%s seed=%d\n  injected: drops=%d corrupt=%d spikes=%d ctx-crashes=%d ctx-mid-crashes=%d ssd-errs=%d\n  availability: %s\n  recovered: fabric retries=%d drops=%d, ssd re-reads=%d, pool stalls=%d\n  pushdown: pool-down obs=%d shard-down obs=%d ctx crashes=%d retries=%d local fallbacks=%d\n  crash-consistency: rollbacks=%d (pages=%d) shed=%d deadline-aborts=%d breaker opens=%d closes=%d short-circuits=%d",
 		f.Profile, f.Seed,
 		i.Drops, i.Corruptions, i.Spikes, i.CtxCrashes, i.CtxMidCrashes, i.SSDReadErrors,
@@ -121,6 +144,18 @@ func (f *FaultReport) String() string {
 		f.PoolDownObserved, f.ShardDownObserved, f.CtxCrashes, f.PushRetries, f.LocalFallbacks,
 		f.Rollbacks, f.RolledBackPages, f.Shed, f.DeadlineAborts,
 		f.BreakerOpens, f.BreakerCloses, f.BreakerShortCircuits)
+	tails := []struct {
+		name string
+		p    *obs.Percentiles
+	}{{"push-e2e", f.PushE2E}, {"remote-fault", f.RemoteFault}, {"pool-stall", f.PoolStall}}
+	for _, t := range tails {
+		if t.p == nil {
+			continue
+		}
+		s += fmt.Sprintf("\n  tail %s: n=%d p50=%s p99=%s p999=%s max=%s",
+			t.name, t.p.Count, fmtNs(t.p.P50), fmtNs(t.p.P99), fmtNs(t.p.P999), fmtNs(float64(t.p.MaxNs)))
+	}
+	return s
 }
 
 // RunWorkload executes one named workload on one named platform.
@@ -178,8 +213,19 @@ func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResul
 		Report:   newReport(workloadName, platformName, out),
 		Trace:    out.Proc.M.Trace.Events(),
 	}
+	res.DroppedEvents = out.Proc.M.Trace.Dropped()
 	if out.Reg != nil {
 		res.Metrics = out.Reg.Snapshot()
+	}
+	if opts.Profiling {
+		res.SpanProfile = obs.BuildProfile(res.Trace, res.DroppedEvents)
+	}
+	if opts.Percentiles && res.Metrics != nil {
+		res.Latency = obs.LatencySummary(res.Metrics)
+	}
+	if out.Rec != nil {
+		res.Incidents = out.Rec.Incidents()
+		res.IncidentsTotal = out.Rec.Total()
 	}
 	if chaosProf.Name != "none" {
 		m := out.Proc.M
@@ -223,9 +269,28 @@ func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResul
 			fr.BreakerCloses = rs.BreakerCloses
 			fr.BreakerShortCircuits = rs.BreakerShortCircuits
 		}
+		if opts.Percentiles {
+			fr.PushE2E = histPercentiles(res.Metrics, "push.e2e.ns")
+			fr.RemoteFault = histPercentiles(res.Metrics, "fault.remote.ns")
+			fr.PoolStall = histPercentiles(res.Metrics, "pool.stall.ns")
+		}
 		res.Fault = fr
 	}
 	return res, nil
+}
+
+// histPercentiles extracts one named histogram's percentiles, or nil when
+// the histogram is absent or empty.
+func histPercentiles(s *metrics.Snapshot, name string) *obs.Percentiles {
+	if s == nil {
+		return nil
+	}
+	hs, ok := s.Histograms[name]
+	if !ok || hs.Count == 0 {
+		return nil
+	}
+	p := obs.FromHistogram(hs)
+	return &p
 }
 
 // RunWorkloads executes several named workloads on one named platform —

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"teleport/internal/obs"
+)
+
+// RunReport is the unified per-run observability report: the attribution
+// breakdown, per-operation latency percentiles, the hottest span paths from
+// the virtual-time profile, and the run's availability/incident summary —
+// one artifact an operator (or CI) reads instead of four. Marshals to JSON
+// deterministically; Fprint renders the human form.
+type RunReport struct {
+	Workload string  `json:"workload"`
+	Platform string  `json:"platform"`
+	Seconds  float64 `json:"seconds"`
+	Nanos    int64   `json:"nanos"`
+
+	// Attribution is the component/operator breakdown (always present).
+	Attribution *Report `json:"attribution"`
+
+	// Latency is the per-operation percentile summary (Options.Percentiles
+	// runs only).
+	Latency []obs.OpLatency `json:"latency,omitempty"`
+
+	// HotPaths is the top-K span paths by self time plus profile coverage
+	// (Options.Profiling runs only).
+	HotPaths      []obs.PathStat `json:"hot_paths,omitempty"`
+	ProfileSelfNs int64          `json:"profile_self_ns,omitempty"`
+	SkippedSpans  int            `json:"skipped_spans,omitempty"`
+	DroppedEvents uint64         `json:"dropped_events,omitempty"`
+
+	// Incidents summarises the flight recorder (IncidentEvents runs only):
+	// total triggers by kind, with the full records left to the JSONL dump.
+	IncidentsTotal int            `json:"incidents_total,omitempty"`
+	IncidentsKept  int            `json:"incidents_kept,omitempty"`
+	IncidentKinds  []IncidentKind `json:"incident_kinds,omitempty"`
+
+	// Fault is the chaos summary (chaos runs only).
+	Fault *FaultReport `json:"fault,omitempty"`
+}
+
+// IncidentKind is one degrade class's trigger count within a run.
+type IncidentKind struct {
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+}
+
+// reportTopK bounds the hot-path table in the unified report; the folded
+// dump has every path.
+const reportTopK = 12
+
+// NewRunReport assembles the unified report from one workload result.
+func NewRunReport(res WorkloadResult) *RunReport {
+	rr := &RunReport{
+		Workload:      res.Workload,
+		Platform:      res.Platform,
+		Seconds:       res.Seconds,
+		Nanos:         res.Nanos,
+		Attribution:   res.Report,
+		Latency:       res.Latency,
+		DroppedEvents: res.DroppedEvents,
+		Fault:         res.Fault,
+	}
+	if p := res.SpanProfile; p != nil {
+		rr.HotPaths = p.TopK(reportTopK)
+		rr.ProfileSelfNs = p.TotalSelfNs()
+		rr.SkippedSpans = p.SkippedSpans
+	}
+	if res.IncidentsTotal > 0 {
+		rr.IncidentsTotal = res.IncidentsTotal
+		rr.IncidentsKept = len(res.Incidents)
+		byKind := map[string]int{}
+		for _, inc := range res.Incidents {
+			byKind[inc.Kind]++
+		}
+		kinds := make([]string, 0, len(byKind))
+		for k := range byKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			rr.IncidentKinds = append(rr.IncidentKinds, IncidentKind{Kind: k, Count: byKind[k]})
+		}
+	}
+	return rr
+}
+
+// WriteJSON writes the report as one indented JSON document. Deterministic:
+// struct field order is fixed and every slice is pre-sorted.
+func (rr *RunReport) WriteJSON(w io.Writer) error {
+	if rr == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rr)
+}
+
+// Fprint renders the human form: attribution tables, then the percentile
+// table, the hot-path table, and the incident summary, skipping sections the
+// run did not collect.
+func (rr *RunReport) Fprint(w io.Writer) {
+	if rr == nil {
+		return
+	}
+	if rr.Attribution != nil {
+		rr.Attribution.Fprint(w)
+	}
+	if len(rr.Latency) > 0 {
+		t := &Table{
+			Figure: "report",
+			Title:  "latency percentiles (virtual time)",
+			Header: []string{"operation", "count", "p50", "p95", "p99", "p999", "max", "mode"},
+		}
+		for _, ol := range rr.Latency {
+			mode := "buckets"
+			if ol.Exact {
+				mode = "exact"
+			}
+			t.AddRow(ol.Name, fmt.Sprintf("%d", ol.Count),
+				fmtNs(ol.P50), fmtNs(ol.P95), fmtNs(ol.P99), fmtNs(ol.P999),
+				fmtNs(float64(ol.MaxNs)), mode)
+		}
+		t.Fprint(w)
+	}
+	if len(rr.HotPaths) > 0 {
+		t := &Table{
+			Figure: "report",
+			Title:  fmt.Sprintf("hot span paths (self time; run total %s)", fmtNs(float64(rr.ProfileSelfNs))),
+			Header: []string{"path", "count", "self", "total", "share"},
+		}
+		for _, ps := range rr.HotPaths {
+			share := "-"
+			if rr.ProfileSelfNs > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*float64(ps.SelfNs)/float64(rr.ProfileSelfNs))
+			}
+			t.AddRow(ps.Path, fmt.Sprintf("%d", ps.Count),
+				fmtNs(float64(ps.SelfNs)), fmtNs(float64(ps.TotalNs)), share)
+		}
+		if rr.DroppedEvents > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("ring dropped %d events; profile covers a suffix of the run", rr.DroppedEvents))
+		}
+		if rr.SkippedSpans > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("%d spans skipped (endpoint lost to wraparound or still open)", rr.SkippedSpans))
+		}
+		t.Fprint(w)
+	}
+	if rr.IncidentsTotal > 0 {
+		fmt.Fprintf(w, "incidents: %d triggered, %d retained\n", rr.IncidentsTotal, rr.IncidentsKept)
+		for _, ik := range rr.IncidentKinds {
+			fmt.Fprintf(w, "  %s: %d\n", ik.Kind, ik.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	if rr.Fault != nil {
+		fmt.Fprintln(w, rr.Fault.String())
+	}
+}
+
+// fmtNs renders virtual nanoseconds human-readably (ns/µs/ms/s by
+// magnitude).
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"teleport/internal/hw"
 	"teleport/internal/mapreduce"
 	"teleport/internal/metrics"
+	"teleport/internal/obs"
 	"teleport/internal/profile"
 	"teleport/internal/sim"
 	"teleport/internal/tpch"
@@ -164,7 +165,26 @@ type runOut struct {
 	Attr metrics.Attribution
 	// Reg is the metrics registry, non-nil when Options.Metrics is set.
 	Reg *metrics.Registry
+	// Rec is the flight recorder, non-nil when Options.IncidentEvents > 0.
+	Rec *obs.Recorder
 }
+
+// traceCap resolves the event-ring capacity: the explicit TraceCap, or a
+// default when profiling or the flight recorder needs a ring anyway.
+func (o Options) traceCap() int {
+	if o.TraceCap > 0 {
+		return o.TraceCap
+	}
+	if o.Profiling || o.IncidentEvents > 0 {
+		return defaultTraceCap
+	}
+	return 0
+}
+
+// defaultTraceCap sizes the implied event ring: large enough that the
+// evaluation workloads profile without wraparound, small enough to stay
+// cheap (each event is ~80 bytes).
+const defaultTraceCap = 1 << 18
 
 // run executes w under spec.
 func run(w workload, opts Options, spec runSpec) runOut {
@@ -204,13 +224,19 @@ func run(w workload, opts Options, spec runSpec) runOut {
 		}
 	}
 	m := ddc.MustMachine(cfg)
-	if opts.TraceCap > 0 {
-		m.AttachTrace(trace.New(opts.TraceCap))
+	if cap := opts.traceCap(); cap > 0 {
+		m.AttachTrace(trace.New(cap))
 	}
 	var reg *metrics.Registry
-	if opts.Metrics {
+	if opts.Metrics || opts.Percentiles {
 		reg = metrics.NewRegistry()
+		reg.SetSampleCap(opts.ExactQuantiles)
 		m.AttachMetrics(reg)
+	}
+	var rec *obs.Recorder
+	if opts.IncidentEvents > 0 {
+		rec = obs.NewRecorder(m.Trace, opts.IncidentEvents, m.CounterSource())
+		m.Trace.SetObserver(rec.Observe)
 	}
 	chaosProf := fault.Profile{Name: "none"}
 	if spec.chaos != nil {
@@ -279,6 +305,7 @@ func run(w workload, opts Options, spec runSpec) runOut {
 			Comps:   m.Times.Sub(attrBefore),
 		},
 		Reg: reg,
+		Rec: rec,
 	}
 }
 

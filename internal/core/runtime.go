@@ -324,6 +324,13 @@ func DefaultRetryThenLocal() RetryThenLocal {
 // cooldown one probe attempt is allowed through and its outcome closes or
 // re-opens the breaker.
 func (r *Runtime) PushdownWithPolicy(t *sim.Thread, fn Func, opts Options, pol RetryThenLocal) (Stats, bool, error) {
+	// End-to-end latency of the whole policy call — every attempt, every
+	// backoff wait, and any compute-side fallback — the operation class
+	// whose tail the SLO analysis (internal/obs percentiles) reads.
+	e2eStart := t.Now()
+	defer func() {
+		r.P.M.Metrics.Histogram("push.e2e.ns").Observe(t.Now() - e2eStart)
+	}()
 	backoff := pol.Backoff
 	ctxRerun := false
 	retries := 0

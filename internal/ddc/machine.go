@@ -1,6 +1,8 @@
 package ddc
 
 import (
+	"fmt"
+
 	"teleport/internal/fault"
 	"teleport/internal/mem"
 	"teleport/internal/metrics"
@@ -136,6 +138,39 @@ func (m *Machine) AttachFault(p *fault.Plan) {
 	}
 	m.Fabric.SetInjector(p)
 	m.SSD.SetInjector(p)
+}
+
+// CounterSource returns a closure producing a machine-wide named counter
+// snapshot: every metrics counter, the chaos plan's injection counters, and
+// the machine's own recovery tallies (pool stalls, per-shard failover and
+// re-sync activity). The flight recorder (internal/obs) diffs consecutive
+// snapshots into per-incident deltas. Reading is passive — it never advances
+// a virtual clock — and every key is fixed, so marshalled deltas are
+// deterministic.
+func (m *Machine) CounterSource() func() map[string]int64 {
+	return func() map[string]int64 {
+		out := m.Metrics.CounterValues()
+		if out == nil {
+			out = make(map[string]int64, 16)
+		}
+		if m.Fault != nil {
+			for k, v := range m.Fault.Counters().Map() {
+				out[k] = v
+			}
+		}
+		out["pool.stalls"] = m.PoolStalls
+		tot := m.Fabric.Total()
+		out["fabric.retries"] = tot.Retries
+		out["fabric.drops"] = tot.Drops
+		out["ssd.read-retries"] = m.SSD.Stats().ReadRetries
+		for s := range m.ShardStats {
+			st := &m.ShardStats[s]
+			out[fmt.Sprintf("shard.%d.failover-reads", s)] = st.FailoverReads
+			out[fmt.Sprintf("shard.%d.resync-pages", s)] = st.ResyncPages
+			out[fmt.Sprintf("shard.%d.stalls", s)] = st.Stalls
+		}
+		return out
+	}
 }
 
 // WaitPoolUp stalls t through a memory-controller outage: a paging

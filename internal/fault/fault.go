@@ -110,6 +110,22 @@ func (c Counters) String() string {
 		c.Drops, c.Corruptions, c.Spikes, c.CtxCrashes, c.CtxMidCrashes, c.SSDReadErrors, c.PoolWindows, c.ShardWindows)
 }
 
+// Map flattens the counters into named values, for merging into a run-wide
+// counter snapshot (the flight recorder diffs consecutive snapshots into the
+// per-incident delta). Keys are fixed, so marshalled output is deterministic.
+func (c Counters) Map() map[string]int64 {
+	return map[string]int64{
+		"fault.drops":         c.Drops,
+		"fault.corruptions":   c.Corruptions,
+		"fault.spikes":        c.Spikes,
+		"fault.ctx-crashes":   c.CtxCrashes,
+		"fault.ctx-mid-crash": c.CtxMidCrashes,
+		"fault.ssd-read-errs": c.SSDReadErrors,
+		"fault.pool-windows":  c.PoolWindows,
+		"fault.shard-windows": c.ShardWindows,
+	}
+}
+
 // window is one memory-controller outage: down at [Down, Up).
 type window struct {
 	Down, Up sim.Time

@@ -77,9 +77,20 @@ type Histogram struct {
 	counts []int64 // len(bounds)+1, last is overflow
 	sum    int64
 	n      int64
+	min    int64 // smallest observation (valid when n > 0)
+	max    int64 // largest observation (valid when n > 0)
+
+	// samples retains up to sampleCap raw observations in arrival order so
+	// quantiles are exact for bounded sample counts; once an observation is
+	// not retained, sampleOver marks the exact mode unavailable and readers
+	// fall back to bucket interpolation.
+	samples    []int64
+	sampleCap  int
+	sampleOver bool
 }
 
-// Observe records one duration (no-op on nil).
+// Observe records one duration (no-op on nil). The bucket scan is a binary
+// search: this runs on every latency observation on the hot paging paths.
 func (h *Histogram) Observe(d sim.Time) {
 	if h == nil {
 		return
@@ -87,13 +98,20 @@ func (h *Histogram) Observe(d sim.Time) {
 	ns := int64(d)
 	h.n++
 	h.sum += ns
-	for i, b := range h.bounds {
-		if ns <= b {
-			h.counts[i]++
-			return
+	if h.n == 1 || ns < h.min {
+		h.min = ns
+	}
+	if h.n == 1 || ns > h.max {
+		h.max = ns
+	}
+	if h.sampleCap > 0 {
+		if len(h.samples) < h.sampleCap {
+			h.samples = append(h.samples, ns)
+		} else {
+			h.sampleOver = true
 		}
 	}
-	h.counts[len(h.bounds)]++
+	h.counts[sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= ns })]++
 }
 
 // Count returns the number of observations (0 on nil).
@@ -131,6 +149,11 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// sampleCap, when > 0, is applied to every histogram created after
+	// SetSampleCap: each retains up to that many raw observations for exact
+	// quantile extraction (see Histogram.samples).
+	sampleCap int
 }
 
 // NewRegistry returns an empty registry.
@@ -190,10 +213,38 @@ func (r *Registry) HistogramWithBuckets(name string, bounds []int64) *Histogram 
 		if bounds == nil {
 			bounds = DefaultLatencyBuckets()
 		}
-		h = &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+		h = &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1), sampleCap: r.sampleCap}
 		r.hists[name] = h
 	}
 	return h
+}
+
+// SetSampleCap makes every histogram created from now on retain up to n raw
+// observations (0 disables retention). Call it before the run starts so all
+// histograms share the mode; retention is passive and never advances a
+// virtual clock.
+func (r *Registry) SetSampleCap(n int) {
+	if r == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	r.sampleCap = n
+}
+
+// CounterValues copies every counter's current value. The map is fresh on
+// each call, so callers may diff two snapshots of it; key iteration is up to
+// the caller (encoding/json sorts map keys on marshal).
+func (r *Registry) CounterValues() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.v
+	}
+	return out
 }
 
 // HistogramSnapshot is one histogram's exported state.
@@ -202,6 +253,15 @@ type HistogramSnapshot struct {
 	Counts   []int64 `json:"counts"` // len(BoundsNs)+1; last is overflow
 	Count    int64   `json:"count"`
 	SumNs    int64   `json:"sum_ns"`
+	MinNs    int64   `json:"min_ns"` // valid when Count > 0
+	MaxNs    int64   `json:"max_ns"` // valid when Count > 0
+
+	// SamplesNs holds the retained raw observations in arrival order when
+	// the histogram was created under a sample cap. SampleOverflow reports
+	// that at least one observation was not retained, so SamplesNs is a
+	// prefix and exact quantiles are unavailable.
+	SamplesNs      []int64 `json:"samples_ns,omitempty"`
+	SampleOverflow bool    `json:"sample_overflow,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry. Marshal
@@ -229,12 +289,19 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Gauges[name] = g.v
 	}
 	for name, h := range r.hists {
-		s.Histograms[name] = HistogramSnapshot{
+		hs := HistogramSnapshot{
 			BoundsNs: append([]int64(nil), h.bounds...),
 			Counts:   append([]int64(nil), h.counts...),
 			Count:    h.n,
 			SumNs:    h.sum,
+			MinNs:    h.min,
+			MaxNs:    h.max,
 		}
+		if h.sampleCap > 0 {
+			hs.SamplesNs = append([]int64(nil), h.samples...)
+			hs.SampleOverflow = h.sampleOver
+		}
+		s.Histograms[name] = hs
 	}
 	return s
 }

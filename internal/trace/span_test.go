@@ -190,3 +190,88 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Fatalf("X=%d i=%d M=%d child=%v, want 2/1/1/true", xs, is, meta, sawChild)
 	}
 }
+
+// An end whose begin was overwritten by ring wraparound must not mispair
+// with a surviving begin, miscount in CountByKind, or dangle in the Chrome
+// export: the orphan keeps its own span ID, counts only as retained begins
+// do, and exports as an instant mark, never an unbalanced "X".
+func TestWraparoundOrphanEndIsolation(t *testing.T) {
+	r := New(3) // retains: (end long#1, begin short#2, end short#2)
+	tr := NewTracer(r)
+	th := sim.NewThread("t")
+
+	long := tr.Begin(th, KindPushdown, 7, 1)
+	th.AdvanceNs(100)
+	tr.End(th, long) // begin already evicted once two more events land
+	short := tr.Begin(th, KindRPC, 0, 2)
+	th.AdvanceNs(5)
+	tr.End(th, short)
+
+	events := r.Events()
+	if len(events) != 3 || r.Dropped() != 1 {
+		t.Fatalf("retained=%d dropped=%d, want 3/1", len(events), r.Dropped())
+	}
+
+	spans := PairSpans(events)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	var orphan, complete *Span
+	for i := range spans {
+		if spans[i].Complete {
+			complete = &spans[i]
+		} else {
+			orphan = &spans[i]
+		}
+	}
+	if complete == nil || orphan == nil {
+		t.Fatalf("want one complete + one orphan, got %+v", spans)
+	}
+	// No mispair: the orphan end kept its own ID and did not close (or
+	// distort) the surviving rpc span.
+	if orphan.ID != long || orphan.Duration() != 0 || orphan.Kind != KindPushdown {
+		t.Fatalf("orphan = %+v", orphan)
+	}
+	if complete.ID != short || complete.Kind != KindRPC || complete.Duration() != sim.Time(5) {
+		t.Fatalf("complete = %+v", complete)
+	}
+
+	// No miscount: only the retained begin counts; the orphan end does not
+	// resurrect the pushdown's count.
+	counts := r.CountByKind()
+	if counts[KindRPC] != 1 || counts[KindPushdown] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+
+	// No dangling end in the Chrome export: exactly one balanced "X" (the
+	// complete span) and the orphan as an instant mark.
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Ph   string   `json:"ph"`
+			Name string   `json:"name"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var xs, marks int
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xs++
+			if ev.Name != "rpc" || ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("dangling or negative X event: %+v", ev)
+			}
+		case "i":
+			marks++
+		}
+	}
+	if xs != 1 || marks != 1 {
+		t.Fatalf("X=%d i=%d, want 1 balanced span and 1 orphan mark", xs, marks)
+	}
+}

@@ -126,6 +126,12 @@ type Ring struct {
 	events []Event
 	next   int
 	total  uint64
+
+	// observer, when non-nil, sees every event immediately after it lands
+	// in the ring — the hook the flight recorder (internal/obs) uses to
+	// trip on degrade-class events with the retained window still warm.
+	// Observation is passive: the observer must not advance virtual time.
+	observer func(Event)
 }
 
 // New returns a ring holding the last capacity events.
@@ -144,10 +150,23 @@ func (r *Ring) Add(e Event) {
 	r.total++
 	if len(r.events) < cap(r.events) {
 		r.events = append(r.events, e)
+	} else {
+		r.events[r.next] = e
+		r.next = (r.next + 1) % cap(r.events)
+	}
+	if r.observer != nil {
+		r.observer(e)
+	}
+}
+
+// SetObserver installs (or, with nil, removes) a per-event callback, invoked
+// after each Add with the event just recorded. Observers must be passive:
+// they may read the ring but never advance a virtual clock.
+func (r *Ring) SetObserver(fn func(Event)) {
+	if r == nil {
 		return
 	}
-	r.events[r.next] = e
-	r.next = (r.next + 1) % cap(r.events)
+	r.observer = fn
 }
 
 // Total returns the number of events ever recorded (including overwritten
@@ -157,6 +176,16 @@ func (r *Ring) Total() uint64 {
 		return 0
 	}
 	return r.total
+}
+
+// Dropped returns how many events were overwritten by ring wraparound
+// (total recorded − retained). Non-zero means the retained window is a
+// suffix of the run, not the whole story.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total - uint64(len(r.events))
 }
 
 // Events returns the retained events oldest-first.
@@ -187,10 +216,15 @@ func (r *Ring) CountByKind() map[Kind]int {
 	return m
 }
 
-// Dump writes the retained events to w, oldest first.
+// Dump writes the retained events to w, oldest first. When the ring wrapped
+// it leads with a "# dropped N events" line so a partial trace is never
+// mistaken for a complete one.
 func (r *Ring) Dump(w io.Writer) {
 	if r == nil {
 		return
+	}
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(w, "# dropped %d events\n", d)
 	}
 	for _, e := range r.Events() {
 		fmt.Fprintln(w, e)

@@ -83,6 +83,37 @@ func TestRingWraparound(t *testing.T) {
 	}
 }
 
+// Dropped is total minus retained, and a wrapped ring's Dump leads with the
+// loss so a reader never mistakes a suffix for the whole run. An unwrapped
+// ring reports zero and dumps without the banner.
+func TestDroppedAndDumpBanner(t *testing.T) {
+	r := New(3)
+	r.Add(Event{Kind: KindCoherence, Who: "a"})
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d before wraparound", r.Dropped())
+	}
+	var clean strings.Builder
+	r.Dump(&clean)
+	if strings.Contains(clean.String(), "# dropped") {
+		t.Fatalf("unwrapped dump carries a drop banner: %s", clean.String())
+	}
+	for i := 0; i < 4; i++ {
+		r.Add(Event{Kind: KindCoherence, Who: "b"})
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2 (5 added, 3 retained)", r.Dropped())
+	}
+	var sb strings.Builder
+	r.Dump(&sb)
+	if !strings.HasPrefix(sb.String(), "# dropped 2 events\n") {
+		t.Fatalf("dump = %q, want leading drop banner", sb.String())
+	}
+	var nilRing *Ring
+	if nilRing.Dropped() != 0 {
+		t.Fatal("nil ring Dropped != 0")
+	}
+}
+
 // TestRingWraparoundCountByKind: kind tallies must reflect only the retained
 // window, not overwritten history.
 func TestRingWraparoundCountByKind(t *testing.T) {
