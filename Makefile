@@ -12,7 +12,9 @@ race:
 	$(GO) test -race ./...
 
 # gofmt + vet + the repo's own determinism analyzers (cmd/ddclint) +
-# the analyzers' fixture suites.
+# the analyzers' fixture suites. ./... includes cmd/... and
+# internal/analysis/... themselves, so the linter is self-hosting: the
+# analyzers and their driver must pass their own checks.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

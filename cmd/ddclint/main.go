@@ -7,14 +7,19 @@
 //	nilsafeobs    observability methods are nil-safe by construction
 //	virtualclock  time arithmetic stays in the clock's type
 //	errcmp        no ==/!= on error values — wrapped sentinels need errors.Is
+//	spanbalance   every trace Begin is Ended exactly once on every exit path
+//	timecharge    hardware models charge virtual time on every non-error path
+//	confine       simulator state never crosses goroutine/channel boundaries
+//	maporder+     (interprocedural) iteration values emitted one call hop away
 //
 // Usage:
 //
 //	go run ./cmd/ddclint [-list] [packages ...]
 //
 // Packages default to ./... resolved from the module root. Diagnostics
-// print as path:line:col: message (analyzer), and the exit status is 1 if
-// any survive the //lint:allow escape hatch (see internal/analysis).
+// print as path:line:col: message (analyzer), sorted by position across
+// all packages, and the exit status is 1 if any survive the //lint:allow
+// escape hatch (see internal/analysis).
 package main
 
 import (
@@ -24,11 +29,14 @@ import (
 	"path/filepath"
 
 	"teleport/internal/analysis"
+	"teleport/internal/analysis/confine"
 	"teleport/internal/analysis/errcmp"
 	"teleport/internal/analysis/load"
 	"teleport/internal/analysis/maporder"
 	"teleport/internal/analysis/nilsafeobs"
 	"teleport/internal/analysis/seededrand"
+	"teleport/internal/analysis/spanbalance"
+	"teleport/internal/analysis/timecharge"
 	"teleport/internal/analysis/virtualclock"
 	"teleport/internal/analysis/walltime"
 )
@@ -41,6 +49,9 @@ var analyzers = []*analysis.Analyzer{
 	nilsafeobs.Analyzer,
 	virtualclock.Analyzer,
 	errcmp.Analyzer,
+	spanbalance.Analyzer,
+	timecharge.Analyzer,
+	confine.Analyzer,
 }
 
 func main() {
@@ -70,6 +81,9 @@ func main() {
 }
 
 // run lints the given package patterns and returns the diagnostic count.
+// Diagnostics are collected across all packages and printed in one
+// position-sorted stream so the output is stable under package-order and
+// parallelism changes — the CLI contract the golden test pins.
 func run(patterns []string) (int, error) {
 	wd, err := os.Getwd()
 	if err != nil {
@@ -88,7 +102,14 @@ func run(patterns []string) (int, error) {
 		return 0, err
 	}
 
-	count := 0
+	// The registered suite, for allow-rot detection: an allow naming an
+	// analyzer outside this set can never suppress anything again.
+	known := map[string]bool{"lintallow": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		var diags []analysis.Diagnostic
 		checked := make(map[string]bool)
@@ -104,15 +125,16 @@ func run(patterns []string) (int, error) {
 			diags = append(diags, ds...)
 		}
 		allows := analysis.CollectAllows(sess.Fset, pkg.Files)
-		for _, d := range analysis.FilterAllowed(sess.Fset, diags, allows, checked) {
-			pos := sess.Fset.Position(d.Pos)
-			rel, err := filepath.Rel(root, pos.Filename)
-			if err != nil {
-				rel = pos.Filename
-			}
-			fmt.Printf("%s:%d:%d: %s (%s)\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer.Name)
-			count++
-		}
+		all = append(all, analysis.FilterAllowed(sess.Fset, diags, allows, checked, known)...)
 	}
-	return count, nil
+	analysis.SortDiagnostics(sess.Fset, all)
+	for _, d := range all {
+		pos := sess.Fset.Position(d.Pos)
+		rel, err := filepath.Rel(root, pos.Filename)
+		if err != nil {
+			rel = pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer.Name)
+	}
+	return len(all), nil
 }

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildLinter compiles the ddclint binary once into a temp dir.
+func buildLinter(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ddclint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building ddclint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule materializes a throwaway module for the linter to chew on.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runLinter executes the binary in dir and returns stdout and exit code.
+func runLinter(t *testing.T, bin, dir string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running ddclint: %v\n%s", err, stderr.String())
+		}
+		code = ee.ExitCode()
+	}
+	if code == 2 {
+		t.Fatalf("ddclint internal error:\n%s", stderr.String())
+	}
+	return stdout.String(), code
+}
+
+func TestCLICleanTreeExitsZero(t *testing.T) {
+	bin := buildLinter(t)
+	dir := writeModule(t, map[string]string{
+		"main.go": `package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("deterministic")
+}
+`,
+	})
+	out, code := runLinter(t, bin, dir)
+	if code != 0 {
+		t.Fatalf("exit code = %d on a clean tree, want 0\noutput:\n%s", code, out)
+	}
+	if out != "" {
+		t.Fatalf("clean tree must print nothing, got:\n%s", out)
+	}
+}
+
+// diagLine pins the diagnostic format: path:line:col: message (analyzer).
+var diagLine = regexp.MustCompile(`^([^:]+):(\d+):(\d+): .+ \((\w+)\)$`)
+
+func TestCLIFindingsExitOneSorted(t *testing.T) {
+	bin := buildLinter(t)
+	dir := writeModule(t, map[string]string{
+		// a.go carries a maporder violation (line 9) and a walltime
+		// violation (line 14); b.go a rotted allow (line 4). The output
+		// must be position-sorted across files, not package-visit order.
+		"a.go": `package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+var t0 = time.Now()
+`,
+		"b.go": `package main
+
+func stale() {
+	x := 1 //lint:allow nosuchcheck this analyzer does not exist
+	_ = x
+}
+
+func main() {}
+`,
+	})
+	out, code := runLinter(t, bin, dir)
+	if code != 1 {
+		t.Fatalf("exit code = %d with findings, want 1\noutput:\n%s", code, out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d diagnostics, want 3:\n%s", len(lines), out)
+	}
+	// The stable contract: format, file/line anchors, analyzer names, and
+	// global position order.
+	want := []struct {
+		prefix   string
+		analyzer string
+	}{
+		{"a.go:9:", "maporder"},
+		{"a.go:14:", "walltime"},
+		{"b.go:4:", "lintallow"},
+	}
+	for i, line := range lines {
+		m := diagLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d does not match the diagnostic format: %q", i, line)
+			continue
+		}
+		if !strings.HasPrefix(line, want[i].prefix) {
+			t.Errorf("line %d = %q, want prefix %q (position-sorted output)", i, line, want[i].prefix)
+		}
+		if m[4] != want[i].analyzer {
+			t.Errorf("line %d analyzer = %s, want %s", i, m[4], want[i].analyzer)
+		}
+	}
+}

@@ -63,12 +63,17 @@ func CollectAllows(fset *token.FileSet, files []*ast.File) []*Allow {
 
 // FilterAllowed drops diagnostics suppressed by an allow comment for the
 // same analyzer on the diagnostic's line or the line above, then appends
-// hygiene diagnostics: allows with no reason, and allows that suppressed
-// nothing. checked maps analyzer name → true for every analyzer that
-// actually ran on the package; a stale allow for an analyzer that did not
-// run is not reported (it may be load-bearing under a different
-// configuration).
-func FilterAllowed(fset *token.FileSet, diags []Diagnostic, allows []*Allow, checked map[string]bool) []Diagnostic {
+// hygiene diagnostics: allows with no reason, allows that suppressed
+// nothing, and allows naming an analyzer that is not in the registered
+// suite at all. checked maps analyzer name → true for every analyzer
+// that actually ran on the package; a stale allow for an analyzer that
+// did not run is not reported (it may be load-bearing under a different
+// configuration). known maps analyzer name → true for every analyzer
+// the tool registers, whether or not it ran here — an allow outside
+// that set is rot from a renamed or removed analyzer. A nil known skips
+// the unknown-name check (single-analyzer harnesses see allows for the
+// rest of the suite).
+func FilterAllowed(fset *token.FileSet, diags []Diagnostic, allows []*Allow, checked, known map[string]bool) []Diagnostic {
 	byKey := make(map[[2]interface{}]*Allow)
 	for _, a := range allows {
 		byKey[[2]interface{}{a.File + ":" + a.Analyzer, a.Line}] = a
@@ -98,6 +103,12 @@ func FilterAllowed(fset *token.FileSet, diags []Diagnostic, allows []*Allow, che
 			out = append(out, Diagnostic{
 				Analyzer: hygiene, Pos: a.Pos,
 				Message: "stale //lint:allow " + a.Analyzer + ": nothing to suppress here",
+			})
+		}
+		if known != nil && !known[a.Analyzer] {
+			out = append(out, Diagnostic{
+				Analyzer: hygiene, Pos: a.Pos,
+				Message: "//lint:allow " + a.Analyzer + " names an analyzer that is not in the registered suite (renamed or removed?)",
 			})
 		}
 	}

@@ -75,7 +75,7 @@ func TestAllowFiltering(t *testing.T) {
 		t.Fatalf("fixture yields %d raw diagnostics, want 4", len(diags))
 	}
 
-	got := FilterAllowed(fset, diags, allows, map[string]bool{"demo": true})
+	got := FilterAllowed(fset, diags, allows, map[string]bool{"demo": true}, nil)
 
 	var kept, missingReason, stale int
 	for _, d := range got {
@@ -103,5 +103,41 @@ func TestAllowFiltering(t *testing.T) {
 	// not run, so it must NOT be reported stale.
 	if stale != 1 {
 		t.Errorf("stale-allow diagnostics = %d, want 1", stale)
+	}
+}
+
+func TestAllowUnknownAnalyzer(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_fixture.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demo := &Analyzer{Name: "demo"}
+	allows := CollectAllows(fset, []*ast.File{f})
+	diags := demoDiags(t, fset, f, demo, ":=")
+
+	// With the registered suite supplied, func e's allow — naming a
+	// checker that no longer exists — is reported as rot; the demo allows
+	// are fine.
+	got := FilterAllowed(fset, diags, allows, map[string]bool{"demo": true}, map[string]bool{"demo": true})
+	unknown := 0
+	for _, d := range got {
+		if strings.Contains(d.Message, "not in the registered suite") {
+			unknown++
+			if !strings.Contains(d.Message, "otherchecker") {
+				t.Errorf("unknown-analyzer diagnostic names the wrong allow: %s", d.Message)
+			}
+		}
+	}
+	if unknown != 1 {
+		t.Errorf("unknown-analyzer diagnostics = %d, want 1", unknown)
+	}
+
+	// A nil known set skips the check entirely.
+	got = FilterAllowed(fset, diags, allows, map[string]bool{"demo": true}, nil)
+	for _, d := range got {
+		if strings.Contains(d.Message, "not in the registered suite") {
+			t.Errorf("nil known set must skip the unknown-analyzer check, got: %s", d.Message)
+		}
 	}
 }

@@ -1,0 +1,376 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as a file, finds function fn, and builds its graph.
+func build(t *testing.T, src, fn string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return New(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil
+}
+
+// reaches reports whether dst is reachable from src.
+func reaches(src, dst *Block) bool {
+	seen := make(map[*Block]bool)
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == dst {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(src)
+}
+
+// nodeCount counts nodes matching pred across all blocks.
+func nodeCount(g *Graph, pred func(ast.Node) bool) int {
+	n := 0
+	for _, b := range g.Blocks {
+		for _, nd := range b.Nodes {
+			if pred(nd) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, `package p
+func f() { x := 1; _ = x }`, "f")
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+	if reaches(g.Entry, g.Panic) {
+		t.Fatal("panic block should be unreachable")
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2", len(g.Entry.Nodes))
+	}
+}
+
+func TestIfElseBothPathsJoin(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`, "f")
+	// Two returns, each its own edge into Exit.
+	if got := len(g.Exit.Preds); got != 2 {
+		t.Fatalf("exit preds = %d, want 2", got)
+	}
+	rets := nodeCount(g, func(n ast.Node) bool { _, ok := n.(*ast.ReturnStmt); return ok })
+	if rets != 2 {
+		t.Fatalf("return nodes = %d, want 2", rets)
+	}
+}
+
+func TestEarlyReturnPathSkipsTail(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	if c {
+		return
+	}
+	tail()
+}
+func tail() {}`, "f")
+	// Find the block holding tail() and the block holding the early return.
+	var tailB, retB *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				retB = b
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "tail" {
+						tailB = b
+					}
+				}
+			}
+		}
+	}
+	if tailB == nil || retB == nil {
+		t.Fatal("blocks not found")
+	}
+	if reaches(retB, tailB) {
+		t.Fatal("early-return path must not reach the tail")
+	}
+	if !reaches(g.Entry, tailB) || !reaches(tailB, g.Exit) {
+		t.Fatal("fallthrough path must run the tail and exit")
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	g := build(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 5 {
+			break
+		}
+		body()
+	}
+	after()
+}
+func body() {}
+func after() {}`, "f")
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+	// The loop head must be on a cycle (back edge through body or post).
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	onCycle := false
+	for _, s := range head.Succs {
+		if reaches(s, head) {
+			onCycle = true
+		}
+	}
+	if !onCycle {
+		t.Fatal("loop head not on a cycle")
+	}
+}
+
+func TestLabeledBreakLeavesOuterLoop(t *testing.T) {
+	g := build(t, `package p
+func f(m [][]int) {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+			use(v)
+		}
+	}
+	after()
+}
+func use(int)   {}
+func after()    {}`, "f")
+	// The break-outer block must reach Exit without re-entering any
+	// range head.
+	var brk *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if bs, ok := n.(*ast.BranchStmt); ok && bs.Tok.String() == "break" {
+				brk = b
+			}
+		}
+	}
+	if brk == nil {
+		t.Fatal("break block not found")
+	}
+	if len(brk.Succs) != 1 || brk.Succs[0].Kind != "range.exit" {
+		t.Fatalf("break successor = %v", brk.Succs)
+	}
+	if !reaches(brk, g.Exit) {
+		t.Fatal("labeled break must reach exit")
+	}
+}
+
+func TestPanicEdge(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	after()
+}
+func after() {}`, "f")
+	if !reaches(g.Entry, g.Panic) {
+		t.Fatal("panic block unreachable")
+	}
+	// The panic path must not fall through to after().
+	var panicB *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok && isPanic(es.X) {
+				panicB = b
+			}
+		}
+	}
+	if panicB == nil {
+		t.Fatal("panic stmt block not found")
+	}
+	if reaches(panicB, g.Exit) {
+		t.Fatal("panic path must not reach the normal exit")
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	g := build(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		return 1
+	case 2:
+		fallthrough
+	case 3:
+		return 3
+	}
+	return 0
+}`, "f")
+	if got := len(g.Exit.Preds); got != 3 {
+		t.Fatalf("exit preds = %d, want 3 (two returns in cases, one after)", got)
+	}
+	// No default: the head must have an edge to the join.
+	g2 := build(t, `package p
+func f(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	default:
+		return 2
+	}
+}`, "f")
+	// All paths return inside the switch; the implicit fall-off-the-end
+	// exit edge comes only from the (unreachable) join.
+	if !reaches(g2.Entry, g2.Exit) {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestDeferStaysInPlace(t *testing.T) {
+	g := build(t, `package p
+func f(c bool) {
+	if c {
+		return
+	}
+	defer cleanup()
+	work()
+}
+func cleanup() {}
+func work()    {}`, "f")
+	var deferB, retB *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			switch n.(type) {
+			case *ast.DeferStmt:
+				deferB = b
+			case *ast.ReturnStmt:
+				retB = b
+			}
+		}
+	}
+	if deferB == nil || retB == nil {
+		t.Fatal("blocks not found")
+	}
+	// The early return does not pass the defer registration.
+	if reaches(retB, deferB) {
+		t.Fatal("early return must not reach the defer")
+	}
+	if !reaches(g.Entry, deferB) || !reaches(deferB, g.Exit) {
+		t.Fatal("defer path must be on the fallthrough route to exit")
+	}
+}
+
+func TestGotoResolves(t *testing.T) {
+	g := build(t, `package p
+func f(n int) {
+retry:
+	n--
+	if n > 0 {
+		goto retry
+	}
+}`, "f")
+	var label *Block
+	for _, b := range g.Blocks {
+		if strings.HasPrefix(b.Kind, "label.") {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatal("label block missing")
+	}
+	// goto forms a cycle through the label.
+	cyclic := false
+	for _, s := range label.Succs {
+		if reaches(s, label) {
+			cyclic = true
+		}
+	}
+	if !cyclic {
+		t.Fatal("goto did not form a cycle")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestSelectEachCommIsAPath(t *testing.T) {
+	g := build(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+		return 0
+	}
+}`, "f")
+	if got := len(g.Exit.Preds); got < 2 {
+		t.Fatalf("exit preds = %d, want >= 2", got)
+	}
+}
+
+func TestTypeSwitchGuardInHead(t *testing.T) {
+	g := build(t, `package p
+func f(x any) int {
+	switch v := x.(type) {
+	case int:
+		return v
+	default:
+		return 0
+	}
+}`, "f")
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+	guards := nodeCount(g, func(n ast.Node) bool { _, ok := n.(*ast.AssignStmt); return ok })
+	if guards != 1 {
+		t.Fatalf("guard nodes = %d, want 1", guards)
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("trivial graph must connect entry to exit")
+	}
+}

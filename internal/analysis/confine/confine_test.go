@@ -1,0 +1,12 @@
+package confine_test
+
+import (
+	"testing"
+
+	"teleport/internal/analysis/analysistest"
+	"teleport/internal/analysis/confine"
+)
+
+func TestConfine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), confine.Analyzer, "confine")
+}

@@ -1,0 +1,134 @@
+package load
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkSrc parses and type-checks one in-memory file.
+func checkSrc(t *testing.T, src string) ([]*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return []*ast.File{f}, info
+}
+
+const callSrc = `package p
+
+type S struct{}
+
+func (s *S) M() {}
+
+type I interface{ N() }
+
+func helper() {}
+
+func caller(s *S, i I, fn func()) {
+	helper()
+	s.M()
+	i.N()
+	fn()
+	go func() {
+		helper()
+	}()
+}
+
+var sink = initVal()
+
+func initVal() int {
+	helper()
+	return 0
+}
+`
+
+func TestCallGraphResolution(t *testing.T) {
+	files, info := checkSrc(t, callSrc)
+	g := NewCallGraph(files, info)
+
+	lookup := func(name string) *types.Func {
+		t.Helper()
+		for fn := range g.Decls {
+			if fn.Name() == name {
+				return fn
+			}
+		}
+		t.Fatalf("declared function %s not in Decls", name)
+		return nil
+	}
+	for _, name := range []string{"M", "helper", "caller", "initVal"} {
+		lookup(name)
+	}
+
+	edges := g.CallsFrom(lookup("caller"))
+	// helper(), s.M(), i.N(), fn(), go func(){}(), and helper() inside the
+	// goroutine literal — all attributed to caller.
+	if len(edges) != 6 {
+		t.Fatalf("CallsFrom(caller) = %d edges, want 6", len(edges))
+	}
+	callees := make(map[string]int)
+	unresolved := 0
+	for _, e := range edges {
+		if e.Callee == nil {
+			unresolved++
+			continue
+		}
+		callees[e.Callee.Name()]++
+	}
+	if callees["helper"] != 2 {
+		t.Errorf("helper resolved %d times, want 2 (direct + inside goroutine)", callees["helper"])
+	}
+	if callees["M"] != 1 {
+		t.Errorf("method M resolved %d times, want 1", callees["M"])
+	}
+	if callees["N"] != 1 {
+		t.Errorf("interface method N resolved %d times, want 1", callees["N"])
+	}
+	// fn() and the go func(){}() invocation are function-value calls.
+	if unresolved != 2 {
+		t.Errorf("unresolved callees = %d, want 2 (fn() and the go literal call)", unresolved)
+	}
+}
+
+func TestCallGraphPackageInitialiser(t *testing.T) {
+	files, info := checkSrc(t, callSrc)
+	g := NewCallGraph(files, info)
+
+	edges := g.CallsFrom(nil)
+	if len(edges) != 1 {
+		t.Fatalf("CallsFrom(nil) = %d edges, want 1 (the sink initialiser)", len(edges))
+	}
+	if edges[0].Callee == nil || edges[0].Callee.Name() != "initVal" {
+		t.Fatalf("package-level initialiser callee = %v, want initVal", edges[0].Callee)
+	}
+}
+
+func TestStaticCalleeInterfaceMethodIsNamed(t *testing.T) {
+	files, info := checkSrc(t, callSrc)
+	g := NewCallGraph(files, info)
+	for _, e := range g.Edges {
+		if e.Callee != nil && e.Callee.Name() == "N" {
+			// An interface method has no declaration in this package.
+			if _, ok := g.Decls[e.Callee]; ok {
+				t.Fatal("interface method N must not appear in Decls")
+			}
+			return
+		}
+	}
+	t.Fatal("no edge resolved to interface method N")
+}

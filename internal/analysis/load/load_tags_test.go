@@ -1,0 +1,129 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tempModule writes a throwaway module and returns its root.
+func tempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module tagmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// Build-tag-excluded files must not reach the type checker: the gated
+// file below does not even type-check (it references an undeclared
+// identifier), so its mere inclusion would fail the load.
+func TestModuleExcludesBuildTaggedFiles(t *testing.T) {
+	root := tempModule(t, map[string]string{
+		"p/p.go": `package p
+
+const Kept = 1
+`,
+		"p/gated.go": `//go:build neverbuildme
+
+package p
+
+const Dropped = thisDoesNotExist
+`,
+		"p/other_goos.go": `//go:build plan9 && !plan9
+
+package p
+
+const AlsoDropped = norDoesThis
+`,
+	})
+	s := NewSession(root)
+	pkgs, err := s.Module("./p")
+	if err != nil {
+		t.Fatalf("Module with gated files: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Module returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (the gated ones excluded)", len(p.Files))
+	}
+	if p.Types.Scope().Lookup("Kept") == nil {
+		t.Error("Kept not found in type-checked package")
+	}
+	if p.Types.Scope().Lookup("Dropped") != nil {
+		t.Error("Dropped leaked in from the build-tag-excluded file")
+	}
+}
+
+// Imports that appear only in _test.go files are invisible to the
+// loader: go list's GoFiles excludes tests, so a test-only import of a
+// package that does not even exist must not break analysis loads.
+func TestModuleIgnoresTestOnlyImports(t *testing.T) {
+	root := tempModule(t, map[string]string{
+		"q/q.go": `package q
+
+func Double(x int) int { return 2 * x }
+`,
+		"q/q_test.go": `package q
+
+import (
+	"testing"
+
+	"tagmod/doesnotexist"
+)
+
+func TestDouble(t *testing.T) {
+	_ = doesnotexist.Thing
+}
+`,
+	})
+	s := NewSession(root)
+	pkgs, err := s.Module("./q")
+	if err != nil {
+		t.Fatalf("Module with broken test-only import: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %d packages / %d files, want 1 / 1", len(pkgs), len(pkgs[0].Files))
+	}
+	if pkgs[0].Types.Scope().Lookup("Double") == nil {
+		t.Error("Double not found in type-checked package")
+	}
+}
+
+// CheckFixture lists files itself (no go list), so it must apply the
+// same _test.go exclusion by hand.
+func TestCheckFixtureSkipsTestFiles(t *testing.T) {
+	root := tempModule(t, map[string]string{
+		"fix/f.go": `package fix
+
+var V = 7
+`,
+		"fix/f_test.go": `package fix
+
+import "nonexistent/junk"
+
+var _ = junk.X
+`,
+	})
+	s := NewSession(root)
+	p, err := s.CheckFixture(filepath.Join(root, "fix"), "fix")
+	if err != nil {
+		t.Fatalf("CheckFixture with broken _test.go present: %v", err)
+	}
+	if len(p.Files) != 1 {
+		t.Fatalf("fixture loaded %d files, want 1", len(p.Files))
+	}
+	if p.Types.Scope().Lookup("V") == nil {
+		t.Error("V not found in fixture package")
+	}
+}

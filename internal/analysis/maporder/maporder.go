@@ -19,6 +19,7 @@ import (
 	"path"
 
 	"teleport/internal/analysis"
+	"teleport/internal/analysis/load"
 )
 
 // Analyzer is the maporder check.
@@ -43,6 +44,9 @@ var fmtEmitters = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	// The package call graph backs the one-hop interprocedural check:
+	// iteration variables handed to a same-package helper that emits them.
+	cg := load.NewCallGraph(pass.Files, pass.Info)
 	// Walk per enclosing function so the sorted-afterwards whitelist can
 	// inspect statements that follow the loop.
 	pass.Inspect(func(n ast.Node) bool {
@@ -58,13 +62,13 @@ func run(pass *analysis.Pass) error {
 		if body == nil {
 			return true
 		}
-		checkFunc(pass, body)
+		checkFunc(pass, cg, body)
 		return true
 	})
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.BlockStmt) {
+func checkFunc(pass *analysis.Pass, cg *load.CallGraph, fn *ast.BlockStmt) {
 	ast.Inspect(fn, func(n ast.Node) bool {
 		if _, isLit := n.(*ast.FuncLit); isLit {
 			return false // visited as its own function by run
@@ -80,12 +84,12 @@ func checkFunc(pass *analysis.Pass, fn *ast.BlockStmt) {
 		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		checkMapRange(pass, fn, rng)
+		checkMapRange(pass, cg, fn, rng)
 		return true
 	})
 }
 
-func checkMapRange(pass *analysis.Pass, fn *ast.BlockStmt, rng *ast.RangeStmt) {
+func checkMapRange(pass *analysis.Pass, cg *load.CallGraph, fn *ast.BlockStmt, rng *ast.RangeStmt) {
 	var appended []types.Object // outer slices grown inside the loop
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -106,6 +110,12 @@ func checkMapRange(pass *analysis.Pass, fn *ast.BlockStmt, rng *ast.RangeStmt) {
 				pass.Reportf(rng.Pos(),
 					"map iteration order is random: this loop calls %s per key, making the emitted order nondeterministic; iterate sorted keys instead (or //lint:allow maporder <reason>)",
 					name)
+				return true
+			}
+			if callee := emitsArgObservably(pass, cg, rng, n); callee != "" {
+				pass.Reportf(rng.Pos(),
+					"map iteration order is random: this loop passes the iteration variable to %s, which emits it observably; iterate sorted keys instead (or //lint:allow maporder <reason>)",
+					callee)
 				return true
 			}
 			if obj := outerAppendTarget(pass, rng, n); obj != nil {
@@ -182,6 +192,122 @@ func outerAppendTarget(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallEx
 		return nil // loop-local accumulator; its order dies with the loop
 	}
 	return obj
+}
+
+// emitsArgObservably is the one-hop interprocedural check: an iteration
+// variable of the map range passed as an argument to a same-package
+// function whose body emits the corresponding parameter observably (a
+// fmt/trace/metrics call or a channel send). It returns the callee's
+// name, or "" when the call launders no iteration order. One hop only:
+// deeper flows need the callee's own map-range to be the loop, which
+// this analyzer already checks.
+func emitsArgObservably(pass *analysis.Pass, cg *load.CallGraph, rng *ast.RangeStmt, call *ast.CallExpr) string {
+	iters := rangeVarObjs(pass, rng)
+	if len(iters) == 0 {
+		return ""
+	}
+	callee := load.StaticCallee(pass.Info, call)
+	if callee == nil {
+		return ""
+	}
+	decl := cg.Decls[callee]
+	if decl == nil || decl.Body == nil {
+		return ""
+	}
+	params := paramObjs(pass, decl)
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !iters[obj] {
+			continue
+		}
+		if i >= len(params) || params[i] == nil {
+			continue
+		}
+		if paramEmitted(pass, decl.Body, params[i]) {
+			return callee.Name()
+		}
+	}
+	return ""
+}
+
+// rangeVarObjs collects the objects bound to the range's key and value.
+func rangeVarObjs(pass *analysis.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil {
+			objs[obj] = true
+		}
+	}
+	return objs
+}
+
+// paramObjs flattens a declaration's parameter objects in positional
+// order (multi-name fields repeat their type, matching argument order).
+func paramObjs(pass *analysis.Pass, decl *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed: nothing can flow through it
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, pass.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// paramEmitted reports whether the parameter object reaches an
+// observable sink inside body: an emitting call's argument or a channel
+// send's value.
+func paramEmitted(pass *analysis.Pass, body *ast.BlockStmt, param types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, bad := observableCall(pass, n); !bad {
+				return true
+			}
+			for _, arg := range n.Args {
+				if usesObj(pass, arg, param) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(pass, n.Value, param) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// usesObj reports whether expr references obj.
+func usesObj(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	used := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
 }
 
 // sortedAfter reports whether obj is passed to a sort call after the

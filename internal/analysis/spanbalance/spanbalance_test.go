@@ -1,0 +1,12 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"teleport/internal/analysis/analysistest"
+	"teleport/internal/analysis/spanbalance"
+)
+
+func TestSpanbalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), spanbalance.Analyzer, "spanbalance")
+}

@@ -1,0 +1,14 @@
+package confine
+
+import (
+	"sim"
+)
+
+// The escape hatch: a reasoned allow for deliberate handoffs (here a
+// shutdown path that transfers thread ownership to a drain goroutine).
+func allowedHandoff(t *sim.Thread, done chan struct{}) {
+	go func() {
+		t.Block() //lint:allow confine shutdown drain takes ownership after the scheduler parks
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,38 @@
+package confine
+
+import (
+	"ddc"
+	"sim"
+)
+
+// Goroutines may exchange plain values: page ids, counts, results.
+func fanOut(pages []uint64, results []int, done chan struct{}) {
+	for i := range pages {
+		go func(slot int, page uint64) {
+			results[slot] = int(page)
+			done <- struct{}{}
+		}(i, pages[i])
+	}
+}
+
+// Sending derived values (not the machinery) is the sanctioned pattern.
+func sendValues(m *ddc.Machine, t *sim.Thread, ch chan uint64) {
+	m.Touch(t, 3)
+	ch <- 3
+}
+
+// Simulator state may flow freely between ordinary function calls.
+func ordinaryCalls(m *ddc.Machine, t *sim.Thread) {
+	m.Touch(t, 4)
+	helper(m, t)
+}
+
+func helper(m *ddc.Machine, t *sim.Thread) {
+	m.Touch(t, 5)
+}
+
+// A closure that runs synchronously (not via go) may capture anything.
+func syncClosure(m *ddc.Machine, t *sim.Thread) {
+	touch := func() { m.Touch(t, 6) }
+	touch()
+}

@@ -1,0 +1,40 @@
+package confine
+
+import (
+	"ddc"
+	"sim"
+)
+
+// A goroutine closure capturing simulator state interleaves with the
+// scheduler arbitrarily.
+func captureLeak(t *sim.Thread, m *ddc.Machine, done chan struct{}) {
+	go func() {
+		m.Touch(t, 1) // want `captures mutable simulator state \("m", ddc\.Machine\)` `captures mutable simulator state \("t", sim\.Thread\)`
+		done <- struct{}{}
+	}()
+}
+
+// Passing a thread as a goroutine argument smuggles the same state.
+func argLeak(t *sim.Thread) {
+	go func(worker *sim.Thread) {
+		worker.Advance(sim.Microsecond)
+	}(t) // want `passing mutable simulator state \(sim\.Thread\) to a goroutine`
+}
+
+// Launching a method goroutine on a machine hands over its state.
+type pump struct{ m *ddc.Machine }
+
+func (p *pump) run() {}
+
+func methodLeak(p *pump, m *ddc.Machine, t *sim.Thread) {
+	go m.Touch(t, 2) // want `launching a goroutine on mutable simulator state \(ddc\.Machine\)` `passing mutable simulator state \(sim\.Thread\)`
+}
+
+// Channels must carry values, not machinery.
+func sendLeak(ch chan *sim.Thread, t *sim.Thread) {
+	ch <- t // want `sending mutable simulator state \(sim\.Thread\) across a channel`
+}
+
+func sendMachine(ch chan *ddc.Machine, m *ddc.Machine) {
+	ch <- m // want `sending mutable simulator state \(ddc\.Machine\) across a channel`
+}

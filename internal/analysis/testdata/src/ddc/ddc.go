@@ -1,0 +1,20 @@
+// Package ddc is a stand-in for the simulated disaggregated-memory
+// machine in confine fixtures: mutable simulator state that must not
+// cross host-goroutine boundaries.
+package ddc
+
+import "sim"
+
+// Machine mimes one simulated machine: pool shards, pager, fault paths.
+type Machine struct {
+	Pages map[uint64][]byte
+}
+
+// Touch mutates machine state on the calling simulator thread.
+func (m *Machine) Touch(t *sim.Thread, page uint64) {
+	t.Advance(sim.Microsecond)
+	m.Pages[page] = nil
+}
+
+// Process mimics one simulated process bound to a machine.
+type Process struct{ M *Machine }

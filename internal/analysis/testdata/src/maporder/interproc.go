@@ -1,0 +1,66 @@
+package maporder
+
+import (
+	"fmt"
+	"trace"
+)
+
+// One call hop between the loop and the sink still launders iteration
+// order into observable output.
+
+func emitKey(k string) {
+	trace.Emit(k)
+}
+
+func printEntry(k string, v int) {
+	fmt.Printf("%s=%d\n", k, v)
+}
+
+func forward(k string, ch chan string) {
+	ch <- k
+}
+
+func traceViaHelper(m map[string]int) {
+	for k := range m { // want `passes the iteration variable to emitKey`
+		emitKey(k)
+	}
+}
+
+func printViaHelper(m map[string]int) {
+	for k, v := range m { // want `passes the iteration variable to printEntry`
+		printEntry(k, v)
+	}
+}
+
+func sendViaHelper(m map[string]int, ch chan string) {
+	for k := range m { // want `passes the iteration variable to forward`
+		forward(k, ch)
+	}
+}
+
+// Order-insensitive helpers stay clean: the iteration variable flows in
+// but never reaches a sink.
+
+func accumulate(v int, total *int) {
+	*total += v
+}
+
+func sumViaHelper(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		accumulate(v, &total)
+	}
+	return total
+}
+
+// A helper that emits something *else* (not the iteration variable) is
+// order-insensitive with respect to the map.
+func emitConstant(k string) {
+	trace.Emit("tick")
+}
+
+func constantViaHelper(m map[string]int) {
+	for k := range m {
+		emitConstant(k)
+	}
+}

@@ -1,0 +1,14 @@
+// Package netmodel is a stand-in for the fabric model in timecharge
+// fixtures: its exported entry points charge the calling thread, so
+// cross-package callers may assume the charge happened (assume-guarantee).
+package netmodel
+
+import "sim"
+
+// Fabric mimics the network model.
+type Fabric struct{}
+
+// Send charges the wire cost of one message to t.
+func (f *Fabric) Send(t *sim.Thread, bytes int) {
+	t.Advance(sim.Time(bytes))
+}

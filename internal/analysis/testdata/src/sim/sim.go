@@ -1,5 +1,5 @@
-// Package sim is a stand-in for the simulator's virtual clock in
-// virtualclock fixtures.
+// Package sim is a stand-in for the simulator's virtual clock and thread
+// in virtualclock, spanbalance, timecharge, and confine fixtures.
 package sim
 
 // Time is a virtual duration in nanoseconds.
@@ -7,3 +7,42 @@ type Time int64
 
 // Microsecond is 1000 virtual nanoseconds.
 const Microsecond Time = 1000
+
+// Thread mimics the simulator's virtual thread: the only holder of
+// virtual time, advanced by the hardware models.
+type Thread struct {
+	now  Time
+	name string
+}
+
+// Advance charges d to the thread's virtual clock.
+func (t *Thread) Advance(d Time) { t.now += d }
+
+// AdvanceNs charges a float nanosecond cost.
+func (t *Thread) AdvanceNs(ns float64) { t.now += Time(ns) }
+
+// AdvanceTo moves the clock forward to ts.
+func (t *Thread) AdvanceTo(ts Time) {
+	if ts > t.now {
+		t.now = ts
+	}
+}
+
+// Block parks the thread until another event unblocks it.
+func (t *Thread) Block() {}
+
+// Now returns the thread's virtual time (a getter: charges nothing).
+func (t *Thread) Now() Time { return t.now }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Scheduler mimics the cooperative scheduler that owns all threads.
+type Scheduler struct{ threads []*Thread }
+
+// Go launches fn on a fresh simulator thread.
+func (s *Scheduler) Go(name string, fn func(*Thread)) {
+	t := &Thread{name: name}
+	s.threads = append(s.threads, t)
+	fn(t)
+}

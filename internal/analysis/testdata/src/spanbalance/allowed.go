@@ -1,0 +1,14 @@
+package spanbalance
+
+import (
+	"sim"
+	"trace"
+)
+
+// The escape hatch: a reasoned allow suppresses the leak report.
+func allowedLeak(tr *trace.Tracer, t *sim.Thread, drain bool) {
+	sp := tr.Begin(t, trace.KindAccess, 1, 0) //lint:allow spanbalance shutdown path ends this span via the drain loop
+	if drain {
+		tr.End(t, sp)
+	}
+}

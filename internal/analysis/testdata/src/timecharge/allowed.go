@@ -1,0 +1,18 @@
+package timecharge
+
+import (
+	"sim"
+)
+
+// Sensor models a component whose healthy probe is free by design.
+type Sensor struct{ latency sim.Time }
+
+// Healthy is a zero-cost status probe: the charge-free fast path is
+// deliberate and documented by the allow.
+func (s *Sensor) Healthy(t *sim.Thread, up bool) bool {
+	if up {
+		return true //lint:allow timecharge status probe reads cached state without touching hardware
+	}
+	t.Advance(s.latency)
+	return false
+}

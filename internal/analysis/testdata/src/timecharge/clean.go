@@ -1,0 +1,71 @@
+package timecharge
+
+import (
+	"errors"
+	"netmodel"
+	"sim"
+)
+
+var errBadPage = errors.New("bad page")
+
+// Rack composes models: charges flow through helpers and siblings.
+type Rack struct {
+	fabric  *netmodel.Fabric
+	latency sim.Time
+}
+
+// NewRack is constructor-style (pointer result): out of scope.
+func NewRack() *Rack { return &Rack{latency: sim.Microsecond} }
+
+// Depth takes no thread: out of scope.
+func (r *Rack) Depth() int { return 1 }
+
+// WritePage charges directly on the only path.
+func (r *Rack) WritePage(t *sim.Thread, page uint64) {
+	t.Advance(r.latency)
+}
+
+// Transfer charges through a sibling model package (assume-guarantee:
+// netmodel's own lint run proves Send charges).
+func (r *Rack) Transfer(t *sim.Thread, bytes int) {
+	r.fabric.Send(t, bytes)
+}
+
+// access charges unconditionally: its summary earns callers credit.
+func (r *Rack) access(t *sim.Thread) {
+	t.Advance(r.latency)
+}
+
+// CachedRead charges via the same-package helper's summary on both arms.
+func (r *Rack) CachedRead(t *sim.Thread, hit bool) int {
+	if hit {
+		r.access(t)
+		return 1
+	}
+	r.access(t)
+	return 0
+}
+
+// TryRead bails with an error before touching hardware: the failure
+// path is exempt, the success path charges.
+func (r *Rack) TryRead(t *sim.Thread, page uint64) ([]byte, error) {
+	if page == 0 {
+		return nil, errBadPage
+	}
+	t.Advance(r.latency)
+	return make([]byte, 4096), nil
+}
+
+// MustRead panics on corruption: panic paths are exempt.
+func (r *Rack) MustRead(t *sim.Thread, corrupt bool) {
+	if corrupt {
+		panic("corrupt page")
+	}
+	t.Advance(r.latency)
+}
+
+// WaitTurn charges by blocking: Block advances time when the scheduler
+// resumes the thread.
+func (r *Rack) WaitTurn(t *sim.Thread) {
+	t.Block()
+}

@@ -1,0 +1,42 @@
+package timecharge
+
+import (
+	"sim"
+)
+
+// Disk mimics a storage model: exported thread-taking methods are the
+// modeled operations and must charge on every non-error path.
+type Disk struct{ latency sim.Time }
+
+// ReadPage forgets to charge the fast path.
+func (d *Disk) ReadPage(t *sim.Thread, page uint64) []byte {
+	if page == 0 {
+		return nil // want `ReadPage returns without advancing`
+	}
+	t.Advance(d.latency)
+	return make([]byte, 4096)
+}
+
+// Probe charges only when the probe hits.
+func (d *Disk) Probe(t *sim.Thread, up bool) bool {
+	if up {
+		t.Advance(d.latency)
+		return true
+	}
+	return false // want `Probe returns without advancing`
+}
+
+// Drain charges inside the loop but not when the loop runs zero times.
+func (d *Disk) Drain(t *sim.Thread, pending []uint64) {
+	for range pending {
+		t.Advance(d.latency)
+	}
+} // want `Drain falls off the end without advancing`
+
+// freeHelper never charges, so calling it earns no credit.
+func (d *Disk) freeHelper(t *sim.Thread) {}
+
+// Flush relies on a helper that does not actually charge.
+func (d *Disk) Flush(t *sim.Thread) {
+	d.freeHelper(t)
+} // want `Flush falls off the end without advancing`

@@ -1,7 +1,9 @@
 // Package trace is a stand-in for the simulator's trace layer in
-// maporder fixtures: Emit and Ring.Add record in call order, Len is a
-// getter.
+// maporder and spanbalance fixtures: Emit and Ring.Add record in call
+// order, Len is a getter, and Tracer issues paired Begin/End spans.
 package trace
+
+import "sim"
 
 var sink string
 
@@ -16,3 +18,22 @@ func (r *Ring) Add(s string) { sink, r.n = s, r.n+1 }
 
 // Len returns the event count (a getter: order-insensitive).
 func (r *Ring) Len() int { return r.n }
+
+// Kind classifies a span.
+type Kind int
+
+// KindAccess is a page-access span.
+const KindAccess Kind = 0
+
+// Tracer mimics the simulator's span recorder: every Begin must be
+// matched by an End on every exit path of the enclosing function.
+type Tracer struct{ next uint64 }
+
+// Begin opens a span and returns its id.
+func (tr *Tracer) Begin(t *sim.Thread, k Kind, page uint64, arg int64) uint64 {
+	tr.next++
+	return tr.next
+}
+
+// End closes the span with the given id. End(t, 0) is a no-op.
+func (tr *Tracer) End(t *sim.Thread, id uint64) {}

@@ -1,0 +1,12 @@
+package timecharge_test
+
+import (
+	"testing"
+
+	"teleport/internal/analysis/analysistest"
+	"teleport/internal/analysis/timecharge"
+)
+
+func TestTimecharge(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), timecharge.Analyzer, "timecharge")
+}

@@ -180,6 +180,7 @@ func (m *Machine) CounterSource() func() map[string]int64 {
 func (m *Machine) WaitPoolUp(t *sim.Thread) bool {
 	recoverAt, down := m.Fault.PoolDownAt(t.Now())
 	if !down {
+		//lint:allow timecharge healthy-controller probe reads the fault schedule only: zero cost by design
 		return false
 	}
 	m.PoolStalls++
@@ -195,6 +196,7 @@ func (m *Machine) WaitPoolUp(t *sim.Thread) bool {
 	m.Times.Add(metrics.CompPoolStall, t.Now()-start)
 	m.Metrics.Counter("pool.stall").Inc()
 	m.Metrics.Histogram("pool.stall.ns").Observe(t.Now() - start)
+	//lint:allow timecharge the stall loop always runs at least once (down holds on entry) and AdvanceTo charges it
 	return true
 }
 
@@ -362,12 +364,14 @@ func (p *Process) ResizePool(bytes int64) {
 // marks the pool copy dirty (it will need a storage write-back on eviction).
 func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
 	if p.PoolRes == nil {
-		return // unbounded pool: always resident
+		//lint:allow timecharge unbounded pool is always resident: there is no fault to charge
+		return
 	}
 	if _, _, ok := p.PoolRes.Lookup(pg); ok {
 		if write {
 			p.PoolRes.MarkDirty(pg)
 		}
+		//lint:allow timecharge pool DRAM hit is free by design: only faults charge I/O
 		return
 	}
 	// Recursive fault to the storage pool (§2.1): controller message plus
