@@ -54,6 +54,7 @@ func main() {
 		chaosSeed  = flag.Int64("chaos-seed", 0, "fault plan seed (0 = reuse -seed)")
 		poolShards = flag.Int("pool-shards", 0, "memory-pool shard count (0/1 = single controller)")
 		replicas   = flag.Int("replicas", 0, "synchronous page replicas across shards (0/1 = unreplicated)")
+		writeQ     = flag.Int("write-quorum", 0, "replica acks a page write needs to commit; unreachable replicas get hinted handoff (0/1 = legacy fan-out)")
 		queueCap   = flag.Int("push-queue-cap", 0, "memory-pool workqueue capacity; beyond it requests are shed (0 = unbounded)")
 		deadlineUs = flag.Float64("push-deadline-us", 0, "per-attempt pushdown deadline budget in virtual microseconds (0 = none)")
 		brThresh   = flag.Int("breaker-threshold", 0, "circuit-breaker consecutive-failure threshold (0 = default, negative = disabled)")
@@ -93,7 +94,7 @@ func main() {
 		ExactQuantiles: *exactQuant,
 		IncidentEvents: incidentEvents,
 		ChaosProfile:   *chaosProf, ChaosSeed: *chaosSeed,
-		PoolShards: *poolShards, Replicas: *replicas,
+		PoolShards: *poolShards, Replicas: *replicas, WriteQuorum: *writeQ,
 		PushQueueCap:     *queueCap,
 		PushDeadline:     sim.FromNs(*deadlineUs * 1e3),
 		BreakerThreshold: *brThresh,

@@ -43,6 +43,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "concurrent figure data points on the host: 0 = one per core (GOMAXPROCS), 1 = sequential, n = n workers")
 		shards    = flag.Int("pool-shards", 0, "memory-pool shard count for disaggregated platforms (0/1 = single controller)")
 		replicas  = flag.Int("replicas", 0, "synchronous page replicas across shards (0/1 = unreplicated)")
+		writeQ    = flag.Int("write-quorum", 0, "replica acks a page write needs to commit; unreachable replicas get hinted handoff (0/1 = legacy fan-out)")
 		list      = flag.Bool("list", false, "list figure ids and exit")
 
 		benchOut  = flag.String("bench-out", "", "run the whole suite timed and write the host benchmark report (wall-clock + allocs per figure) to this file")
@@ -68,14 +69,15 @@ func main() {
 		return
 	}
 	opts := bench.Options{
-		Scale:      *scale,
-		GraphNV:    *graphNV,
-		Words:      *words,
-		Seed:       *seed,
-		CacheFrac:  *cacheFrac,
-		Parallel:   *parallel,
-		PoolShards: *shards,
-		Replicas:   *replicas,
+		Scale:       *scale,
+		GraphNV:     *graphNV,
+		Words:       *words,
+		Seed:        *seed,
+		CacheFrac:   *cacheFrac,
+		Parallel:    *parallel,
+		PoolShards:  *shards,
+		Replicas:    *replicas,
+		WriteQuorum: *writeQ,
 	}
 	if *workload != "" {
 		if err := forensicRun(*workload, *platform, opts, forensicFlags{

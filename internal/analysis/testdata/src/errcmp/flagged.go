@@ -30,3 +30,17 @@ func badShardCheck() bool {
 	}
 	return errShardDown != err // want `error compared with !=; a wrapped sentinel never matches — use errors\.Is`
 }
+
+// Quorum-loss handling likewise: the pushdown gate returns ErrQuorumLost
+// wrapped with call context, so only errors.Is matches it.
+var errQuorumLost = errors.New("teleport: write quorum unreachable (partitioned replicas)")
+
+func quorumGate() error { return errQuorumLost }
+
+func badQuorumCheck() bool {
+	err := quorumGate()
+	if err == errQuorumLost { // want `error compared with ==; a wrapped sentinel never matches — use errors\.Is`
+		return true
+	}
+	return errQuorumLost != err // want `error compared with !=; a wrapped sentinel never matches — use errors\.Is`
+}

@@ -84,6 +84,13 @@ type Options struct {
 	PoolShards int
 	Replicas   int
 
+	// WriteQuorum is W, the number of replica acks a page write needs to
+	// commit on a replicated sharded pool; unreachable replicas get hinted
+	// handoff records and failover reads detect and repair staleness via
+	// version tags (see internal/ddc). 0 or 1 keeps the legacy synchronous
+	// fan-out. Requires W ≤ Replicas.
+	WriteQuorum int
+
 	// PushQueueCap bounds the memory pool's pushdown workqueue: beyond it,
 	// admission control sheds requests with ErrQueueFull (recovered by the
 	// retry policy). 0 keeps the unbounded FIFO.

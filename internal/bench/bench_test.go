@@ -18,7 +18,7 @@ func smallOpts() Options {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"1a", "1b", "3", "6", "7", "10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20", "21", "22", "A1", "A2", "A3", "A4", "A5", "A6"}
+	want := []string{"1a", "1b", "3", "6", "7", "10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20", "21", "22", "A1", "A2", "A3", "A4", "A5", "A6", "A7"}
 	have := map[string]bool{}
 	for _, id := range Figures() {
 		have[id] = true

@@ -102,7 +102,12 @@ type chaosResult struct {
 	Stalls      int64
 	Failovers   int64                    // replica-served reads across all shards
 	ResyncPages int64                    // pages replayed by shard recoveries
-	ShardStalls int64                    // accesses with no live replica
+	ShardStalls int64                    // accesses with no usable replica
+	Handoffs    int64                    // hinted-handoff records enqueued (partition-caused)
+	Replays     int64                    // hinted records delivered after link heals
+	Repairs     int64                    // stale copies read-repaired before serving
+	StaleCaught int64                    // reads that would have served stale bytes
+	QuorumStall int64                    // writes/reads stalled below their quorum
 	ShardDown   [maxChaosShards]sim.Time // per-shard downtime through the run
 }
 
@@ -115,7 +120,13 @@ func runChaos(t *testing.T, w chaosWorkload, profName string, seed int64) chaosR
 		t.Fatalf("ByName(%q): %v", profName, err)
 	}
 	cfg := ddc.BaseDDC(1 << 20)
-	if prof.ShardMeanUp > 0 {
+	switch {
+	case prof.HasPartitions():
+		// Partition profiles need links to sever and a write quorum to
+		// defend: a 4-shard R=3 W=2 pool exercises quorum commit, hinted
+		// handoff, anti-entropy, and read-repair under every profile.
+		cfg.PoolShards, cfg.Replicas, cfg.WriteQuorum = 4, 3, 2
+	case prof.ShardMeanUp > 0:
 		// Shard profiles need a multi-shard pool to have anything to
 		// crash; replication keeps single-shard outages off the stall
 		// path so answers still flow.
@@ -154,6 +165,11 @@ func runChaos(t *testing.T, w chaosWorkload, profName string, seed int64) chaosR
 			res.Failovers += st.FailoverReads
 			res.ResyncPages += st.ResyncPages
 			res.ShardStalls += st.Stalls
+			res.Handoffs += st.HandoffRecords
+			res.Replays += st.HandoffReplays
+			res.Repairs += st.ReadRepairs
+			res.StaleCaught += st.StaleReadsAverted
+			res.QuorumStall += st.QuorumStalls
 		}
 		res.ShardDown[s] = fault.TotalDowntime(m.Fault.ShardWindowsThrough(s, th.Now()), th.Now())
 	}
@@ -173,7 +189,7 @@ func TestChaosAnswersMatchFaultFree(t *testing.T) {
 			}
 			injectedBy[prof] += got.Plan.Drops + got.Plan.Spikes + got.Plan.CtxCrashes +
 				got.Plan.CtxMidCrashes + got.Plan.SSDReadErrors + got.Plan.PoolWindows +
-				got.Plan.ShardWindows
+				got.Plan.ShardWindows + got.Plan.LinkWindows + got.Plan.SplitWindows
 		}
 	}
 	// Every profile must have actually injected faults somewhere, or the

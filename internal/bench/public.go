@@ -91,12 +91,29 @@ type FaultReport struct {
 	ResyncPages   int64      // journaled pages re-replicated on shard recovery
 	ShardStalls   int64      // accesses stalled because no replica was live
 
+	// Partition tolerance (link-partition profiles and/or write-quorum
+	// configs; zero otherwise): the union of every directed link's outage
+	// windows, and the quorum machinery's activity — hinted handoff
+	// records enqueued and replayed, anti-entropy heals, staleness caught
+	// and repaired by versioned failover reads, and writes/reads stalled
+	// below quorum (see internal/ddc).
+	LinkFaults        bool     // the fault plan could partition links at all
+	LinkDowntime      sim.Time // union of all directed-link partition windows
+	HandoffRecords    int64    // hinted-handoff records enqueued (partition-caused)
+	HandoffReplays    int64    // hinted records delivered after a link heal
+	PartitionHeals    int64    // anti-entropy sweeps that delivered hinted records
+	ReadRepairs       int64    // stale replica copies repaired before serving
+	StaleReadsAverted int64    // reads that would have served stale bytes
+	QuorumStalls      int64    // writes/reads stalled below their quorum
+
 	// TELEPORT runtime recovery (teleport platforms only; zero elsewhere).
-	PoolDownObserved  int64 // heartbeat observations that found the pool down
-	ShardDownObserved int64 // pushdowns shed because a page's replica set was down
-	CtxCrashes        int64 // temporary-context crashes (pre-commit + mid-execution)
-	PushRetries       int64 // pushdown re-attempts by the policy
-	LocalFallbacks    int64 // pushdowns degraded to compute-side execution
+	PoolDownObserved   int64 // heartbeat observations that found the pool down
+	ShardDownObserved  int64 // pushdowns shed because a page's replica set was down
+	QuorumLostObserved int64 // pushdowns shed below their write quorum
+	QuorumAborts       int64 // executing pushdowns aborted (and rolled back) by partition onset
+	CtxCrashes         int64 // temporary-context crashes (pre-commit + mid-execution)
+	PushRetries        int64 // pushdown re-attempts by the policy
+	LocalFallbacks     int64 // pushdowns degraded to compute-side execution
 
 	// Crash-consistency and overload recovery.
 	Shed                 int64 // requests rejected by admission control
@@ -134,6 +151,11 @@ func (f *FaultReport) String() string {
 		}
 		avail += fmt.Sprintf(", shard-downtime=[%s], failover-reads=%d resync-pages=%d shard-stalls=%d",
 			strings.Join(per, " "), f.FailoverReads, f.ResyncPages, f.ShardStalls)
+	}
+	if f.LinkFaults || f.LinkDowntime > 0 || f.HandoffRecords+f.HandoffReplays+f.ReadRepairs+f.QuorumStalls+f.QuorumLostObserved+f.QuorumAborts > 0 {
+		avail += fmt.Sprintf("\n  partition: link-downtime=%v handoffs=%d replays=%d heals=%d read-repairs=%d stale-averted=%d quorum-stalls=%d quorum-lost=%d quorum-aborts=%d",
+			f.LinkDowntime, f.HandoffRecords, f.HandoffReplays, f.PartitionHeals,
+			f.ReadRepairs, f.StaleReadsAverted, f.QuorumStalls, f.QuorumLostObserved, f.QuorumAborts)
 	}
 	s := fmt.Sprintf(
 		"chaos profile=%s seed=%d\n  injected: drops=%d corrupt=%d spikes=%d ctx-crashes=%d ctx-mid-crashes=%d ssd-errs=%d\n  availability: %s\n  recovered: fabric retries=%d drops=%d, ssd re-reads=%d, pool stalls=%d\n  pushdown: pool-down obs=%d shard-down obs=%d ctx crashes=%d retries=%d local fallbacks=%d\n  crash-consistency: rollbacks=%d (pages=%d) shed=%d deadline-aborts=%d breaker opens=%d closes=%d short-circuits=%d",
@@ -249,6 +271,33 @@ func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResul
 				fr.FailoverReads += st.FailoverReads
 				fr.ResyncPages += st.ResyncPages
 				fr.ShardStalls += st.Stalls
+				fr.HandoffRecords += st.HandoffRecords
+				fr.HandoffReplays += st.HandoffReplays
+				fr.PartitionHeals += st.PartitionHeals
+				fr.ReadRepairs += st.ReadRepairs
+				fr.StaleReadsAverted += st.StaleReadsAverted
+				fr.QuorumStalls += st.QuorumStalls
+			}
+			if m.Fault.HasLinkFaults() {
+				fr.LinkFaults = true
+				// Union every directed link's windows — compute↔shard
+				// and shard↔shard, both directions — into one degraded
+				// figure. Endpoint order is fixed, so the schedule
+				// extension this forces is deterministic.
+				ends := make([]int, 0, k+1)
+				ends = append(ends, fault.EndpointCompute)
+				for s := 0; s < k; s++ {
+					ends = append(ends, s)
+				}
+				var links []fault.Window
+				for _, from := range ends {
+					for _, to := range ends {
+						if from != to {
+							links = append(links, m.Fault.LinkWindowsThrough(from, to, out.End)...)
+						}
+					}
+				}
+				fr.LinkDowntime = fault.UnionDowntime(links, out.End)
 			}
 		}
 		tot := m.Fabric.Total()
@@ -258,6 +307,8 @@ func RunWorkload(workloadName, platformName string, opts Options) (WorkloadResul
 			rs := out.RT.Stats()
 			fr.PoolDownObserved = rs.PoolDownObserved
 			fr.ShardDownObserved = rs.ShardDownObserved
+			fr.QuorumLostObserved = rs.QuorumLostObserved
+			fr.QuorumAborts = rs.QuorumAborts
 			fr.CtxCrashes = rs.CtxCrashes
 			fr.PushRetries = rs.Retries
 			fr.LocalFallbacks = rs.LocalFallbacks

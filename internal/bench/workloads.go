@@ -134,20 +134,21 @@ const (
 
 // runSpec tweaks a single workload execution.
 type runSpec struct {
-	platform   platform
-	cacheFrac  float64 // compute/local cache as fraction of the working set
-	cacheBytes int64   // absolute cache size (overrides cacheFrac when >0)
-	poolFrac   float64 // memory pool DRAM fraction (0 = unbounded)
-	memClock   float64 // memory-pool clock override (0 = testbed)
-	contexts   int     // pushdown contexts (0 = 1)
-	prefetch   *int    // base-DDC prefetch depth override (nil = preset)
-	pushOps    []string
-	pushFlags  core.Flags
-	hwMut      func(*hw.Config)
-	shards     int            // pool shards (0 = Options.PoolShards)
-	replicas   int            // per-page copies (0 = Options.Replicas)
-	chaos      *fault.Profile // fault profile override (nil = Options.ChaosProfile)
-	chaosSeed  int64          // seed override for the chaos plan (0 = Options)
+	platform    platform
+	cacheFrac   float64 // compute/local cache as fraction of the working set
+	cacheBytes  int64   // absolute cache size (overrides cacheFrac when >0)
+	poolFrac    float64 // memory pool DRAM fraction (0 = unbounded)
+	memClock    float64 // memory-pool clock override (0 = testbed)
+	contexts    int     // pushdown contexts (0 = 1)
+	prefetch    *int    // base-DDC prefetch depth override (nil = preset)
+	pushOps     []string
+	pushFlags   core.Flags
+	hwMut       func(*hw.Config)
+	shards      int            // pool shards (0 = Options.PoolShards)
+	replicas    int            // per-page copies (0 = Options.Replicas)
+	writeQuorum int            // write quorum W (0 = Options.WriteQuorum)
+	chaos       *fault.Profile // fault profile override (nil = Options.ChaosProfile)
+	chaosSeed   int64          // seed override for the chaos plan (0 = Options)
 }
 
 // runOut is one execution's result.
@@ -221,6 +222,9 @@ func run(w workload, opts Options, spec runSpec) runOut {
 		}
 		if cfg.Replicas = spec.replicas; cfg.Replicas == 0 {
 			cfg.Replicas = opts.Replicas
+		}
+		if cfg.WriteQuorum = spec.writeQuorum; cfg.WriteQuorum == 0 {
+			cfg.WriteQuorum = opts.WriteQuorum
 		}
 	}
 	m := ddc.MustMachine(cfg)

@@ -55,11 +55,26 @@ func (mp *memPager) precheck(e *ddc.Env) {
 	}
 }
 
+// gateQuorum aborts the call when pg's replica set has dropped below the
+// write quorum mid-execution — partition onset after the admission gate let
+// the call through. The panic unwinds to Pushdown's recover, which rolls the
+// undo journal back before the failure is reported (rollback-before-report),
+// so the compute side sees a Recoverable ErrQuorumLost against pristine pool
+// state. Free on legacy (W ≤ 1) configs.
+func (mp *memPager) gateQuorum(e *ddc.Env, pg mem.PageID) {
+	rt := mp.ps.rt
+	if wake, lost := rt.pageQuorumWait(pg, e.T.Now()); lost {
+		rt.shardRecoverAt = wake
+		panic(pushAbort{err: ErrQuorumLost})
+	}
+}
+
 // EnsurePage implements the memory-place access path.
 func (mp *memPager) EnsurePage(e *ddc.Env, pg mem.PageID, write bool) {
 	ps := mp.ps
 	p := ps.rt.P
 	mp.precheck(e)
+	mp.gateQuorum(e, pg)
 
 	if mp.opts.Flags&(FlagNoCoherence|FlagEagerSync|FlagMigrateProcess|FlagEvictRanges) != 0 {
 		// Relaxed / strawman modes: no protocol, only pool residency (and

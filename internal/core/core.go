@@ -192,6 +192,16 @@ var (
 	// errors.Is, never ==.
 	ErrShardDown = errors.New("teleport: memory-pool shard down (no live replica)")
 
+	// ErrQuorumLost reports that a pushdown's resident pages include one
+	// with fewer than WriteQuorum replicas reachable from the compute
+	// node — crashed shards or partitioned links — so the call's writes
+	// could not commit. If execution had already dirtied pages when the
+	// partition hit, the undo journal was rolled back before this error
+	// was reported, so retrying is safe; the RetryThenLocal policy waits
+	// for the earliest scheduled link heal, mirroring ErrShardDown. Must
+	// be matched with errors.Is, never ==.
+	ErrQuorumLost = errors.New("teleport: write quorum unreachable (partitioned replicas)")
+
 	// ErrNotDisaggregated reports a pushdown on a monolithic machine.
 	ErrNotDisaggregated = errors.New("teleport: pushdown requires a disaggregated machine")
 )
@@ -209,7 +219,8 @@ func Recoverable(err error) bool {
 		errors.Is(err, ErrContextCrashed) ||
 		errors.Is(err, ErrQueueFull) ||
 		errors.Is(err, ErrDeadlineExceeded) ||
-		errors.Is(err, ErrShardDown)
+		errors.Is(err, ErrShardDown) ||
+		errors.Is(err, ErrQuorumLost)
 }
 
 // RemoteError wraps a panic thrown by the pushed function; it is rethrown

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 
 	"teleport/internal/ddc"
 	"teleport/internal/hw"
@@ -119,11 +120,13 @@ type RuntimeStats struct {
 	Contentions   int64
 
 	// Failure/recovery counters (§3.2 failure handling).
-	PoolDownObserved  int64 // heartbeat observations that found the pool down
-	ShardDownObserved int64 // pushdowns shed because a resident page's replica set was down
-	CtxCrashes        int64 // temporary-context crashes injected (pre-commit + mid-execution)
-	Retries           int64 // pushdown re-attempts by the recovery policy
-	LocalFallbacks    int64 // pushdowns degraded to compute-side execution
+	PoolDownObserved   int64 // heartbeat observations that found the pool down
+	ShardDownObserved  int64 // pushdowns shed because a resident page's replica set was unreachable
+	QuorumLostObserved int64 // pushdowns shed because a resident page was below its write quorum
+	QuorumAborts       int64 // executing pushdowns aborted (and rolled back) by partition onset
+	CtxCrashes         int64 // temporary-context crashes injected (pre-commit + mid-execution)
+	Retries            int64 // pushdown re-attempts by the recovery policy
+	LocalFallbacks     int64 // pushdowns degraded to compute-side execution
 
 	// Crash-consistency and overload counters.
 	Shed                 int64 // requests rejected by admission control (queue full)
@@ -207,53 +210,106 @@ func (r *Runtime) poolDownAt(ts sim.Time) (recoverAt sim.Time, down bool) {
 	return r.P.M.Fault.PoolDownAt(ts)
 }
 
-// shardGate checks every resident page's shard availability on a sharded
-// pool: a page whose primary shard and every backup are all down sheds the
-// call with ErrShardDown (Recoverable), recording the earliest restart that
-// unblocks the working set so the retry policy can wait for it instead of
-// blind backoff. Free on single-shard pools.
+// shardGate checks every resident page's shard reachability on a sharded
+// pool. A page whose primary shard and every backup are all unusable —
+// crashed, or severed from the compute node by a link partition — sheds the
+// call with ErrShardDown (Recoverable); on write-quorum configs (W > 1) a
+// page with fewer than W usable replicas sheds it with ErrQuorumLost, since
+// the call's writes could not commit. Either way the gate records the
+// earliest heal that unblocks the working set, so the retry policy can wait
+// for it instead of blind backoff. Free on single-shard pools.
 func (r *Runtime) shardGate(t *sim.Thread, entries []netmodel.PageEntry) error {
 	m := r.P.M
 	k := m.Cfg.Shards()
 	if k <= 1 || len(entries) == 0 {
 		return nil
 	}
-	// Resolve each shard's status once; the entries stripe across all of
-	// them.
-	rec := make([]sim.Time, k)
-	down := make([]bool, k)
+	now := t.Now()
+	// Resolve each shard's compute-side usability once; the entries stripe
+	// across all of them. usableAt folds the crash and link-partition
+	// schedules: a shard that is up but partitioned is as unusable as a
+	// crashed one.
+	usableAt := make([]sim.Time, k)
 	for s := 0; s < k; s++ {
-		rec[s], down[s] = m.Fault.ShardDownAt(s, t.Now())
+		usableAt[s] = m.ShardUsableAt(s, now)
 	}
 	reps := m.Cfg.EffReplicas()
-	var waitUntil sim.Time
+	w := m.Cfg.EffWriteQuorum()
+	heals := make([]sim.Time, 0, reps)
+	var downWait, quorumWait sim.Time
 	for _, e := range entries {
 		primary := ddc.ShardOf(mem.PageID(e.ID), k)
-		if !down[primary] {
-			continue
-		}
-		live := false
-		for i := 1; i < reps; i++ {
-			if !down[(primary+i)%k] {
-				live = true
-				break
+		usable := 0
+		heals = heals[:0]
+		for i := 0; i < reps; i++ {
+			if at := usableAt[(primary+i)%k]; at == now {
+				usable++
+			} else {
+				heals = append(heals, at)
 			}
 		}
-		if live {
+		if usable >= w {
 			continue
 		}
-		if waitUntil == 0 || rec[primary] < waitUntil {
-			waitUntil = rec[primary]
+		sort.Slice(heals, func(i, j int) bool { return heals[i] < heals[j] })
+		if usable == 0 {
+			// The whole replica set is unreachable: the earliest
+			// member heal unblocks the page.
+			if downWait == 0 || heals[0] < downWait {
+				downWait = heals[0]
+			}
+			continue
+		}
+		// Below the write quorum: quorum is restored once W−usable more
+		// members heal.
+		if wake := heals[w-usable-1]; quorumWait == 0 || wake < quorumWait {
+			quorumWait = wake
 		}
 	}
-	if waitUntil == 0 {
-		return nil
+	if downWait > 0 {
+		r.agg.ShardDownObserved++
+		r.shardRecoverAt = downWait
+		m.Metrics.Counter("push.shard-down").Inc()
+		m.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindShardDown, Who: t.Name()})
+		return ErrShardDown
 	}
-	r.agg.ShardDownObserved++
-	r.shardRecoverAt = waitUntil
-	m.Metrics.Counter("push.shard-down").Inc()
-	m.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindShardDown, Who: t.Name()})
-	return ErrShardDown
+	if quorumWait > 0 {
+		r.agg.QuorumLostObserved++
+		r.shardRecoverAt = quorumWait
+		m.Metrics.Counter("push.quorum-lost").Inc()
+		m.Trace.Add(trace.Event{At: t.Now(), Kind: trace.KindShardDown, Arg: 1, Who: t.Name()})
+		return ErrQuorumLost
+	}
+	return nil
+}
+
+// pageQuorumWait reports whether pg's replica set is below the write quorum
+// at now — fewer than W members up and unpartitioned from the compute node —
+// and, when it is, the instant enough scheduled heals restore quorum. Free
+// on legacy (single-shard or W ≤ 1) configs.
+func (r *Runtime) pageQuorumWait(pg mem.PageID, now sim.Time) (sim.Time, bool) {
+	m := r.P.M
+	k := m.Cfg.Shards()
+	w := m.Cfg.EffWriteQuorum()
+	if k <= 1 || w <= 1 {
+		return 0, false
+	}
+	reps := m.Cfg.EffReplicas()
+	primary := ddc.ShardOf(pg, k)
+	usable := 0
+	heals := make([]sim.Time, 0, reps)
+	for i := 0; i < reps; i++ {
+		if at := m.ShardUsableAt((primary+i)%k, now); at == now {
+			usable++
+			if usable >= w {
+				return 0, false
+			}
+		} else {
+			heals = append(heals, at)
+		}
+	}
+	sort.Slice(heals, func(i, j int) bool { return heals[i] < heals[j] })
+	return heals[w-usable-1], true
 }
 
 // observeHeartbeat is one compute-side heartbeat observation at t's current
@@ -369,9 +425,9 @@ func (r *Runtime) PushdownWithPolicy(t *sim.Thread, fn Func, opts Options, pol R
 			if recoverAt, down := r.poolDownAt(t.Now()); down && recoverAt > 0 {
 				// Scheduled outage: wait for the controller restart.
 				t.AdvanceTo(recoverAt)
-			} else if errors.Is(err, ErrShardDown) && r.shardRecoverAt > t.Now() {
-				// Scheduled shard outage: wait for the earliest restart
-				// that unblocks the call's working set.
+			} else if (errors.Is(err, ErrShardDown) || errors.Is(err, ErrQuorumLost)) && r.shardRecoverAt > t.Now() {
+				// Scheduled shard outage or link partition: wait for the
+				// earliest heal that unblocks the call's working set.
 				t.AdvanceTo(r.shardRecoverAt)
 			} else if backoff > 0 {
 				t.Advance(backoff)
@@ -659,6 +715,9 @@ func (r *Runtime) abortPush(t *sim.Thread, ps *pushState, pager *memPager, callI
 		rs := t.Now()
 		t.AdvanceNs(p.M.Cfg.HW.CtxSwitchNs)
 		p.M.Times.Add(metrics.CompPushProto, t.Now()-rs)
+	} else if errors.Is(ab.err, ErrQuorumLost) {
+		r.agg.QuorumAborts++
+		p.M.Metrics.Counter("push.quorum-aborts").Inc()
 	} else {
 		r.agg.DeadlineAborts++
 		p.M.Metrics.Counter("push.deadline-aborts").Inc()

@@ -57,6 +57,21 @@ type Config struct {
 	// reads fail over to a live replica during a single-shard outage. 0 or
 	// 1 disables replication. Requires Replicas ≤ PoolShards.
 	Replicas int
+
+	// WriteQuorum is W, the number of replica acks a write needs before it
+	// commits. A write that cannot reach a replica (shard crashed, or the
+	// link to it partitioned) enqueues a deterministic hinted-handoff
+	// record instead, and stalls only when fewer than W copies are
+	// reachable. 0 or 1 keeps the legacy synchronous fan-out, which never
+	// stalls (unreachable replicas are journalled for re-sync). Requires
+	// W ≤ Replicas and W + R′ > Replicas (R′ = ReadQuorum).
+	WriteQuorum int
+
+	// ReadQuorum is R′, the number of distinct replicas a failover read
+	// consults so that any committed write (W acks) intersects the read
+	// set and staleness is detected, triggering read-repair. 0 derives the
+	// smallest valid value: Replicas − W + 1 when W > 1, else 1.
+	ReadQuorum int
 }
 
 // Linux returns a monolithic server with unlimited local memory (the paper's
@@ -107,6 +122,26 @@ func (c *Config) Validate() error {
 	if c.Replicas > 1 && c.Replicas > c.PoolShards {
 		return errConfig("replicas cannot exceed pool shards")
 	}
+	if c.WriteQuorum < 0 || c.ReadQuorum < 0 {
+		return errConfig("write and read quorums cannot be negative")
+	}
+	if !c.Disaggregated && (c.WriteQuorum > 1 || c.ReadQuorum > 1) {
+		return errConfig("write and read quorums apply only to disaggregated machines")
+	}
+	if r := c.EffReplicas(); c.WriteQuorum > 1 || c.ReadQuorum > 1 {
+		if r <= 1 {
+			return errConfig("write and read quorums require replication (Replicas > 1)")
+		}
+		if c.WriteQuorum > r {
+			return errConfig("write quorum cannot exceed replicas")
+		}
+		if c.ReadQuorum > r {
+			return errConfig("read quorum cannot exceed replicas")
+		}
+		if c.EffWriteQuorum()+c.EffReadQuorum() <= r {
+			return errConfig("write quorum + read quorum must exceed replicas (W + R' > R)")
+		}
+	}
 	return nil
 }
 
@@ -129,6 +164,42 @@ func (c *Config) EffReplicas() int {
 		return k
 	}
 	return r
+}
+
+// EffWriteQuorum returns the effective write quorum W, clamped to
+// [1, EffReplicas()]. W == 1 is the legacy regime: a write commits as soon as
+// its serving copy lands and every other replica is either written through or
+// journalled, with no quorum stall.
+func (c *Config) EffWriteQuorum() int {
+	w := c.WriteQuorum
+	if w <= 1 {
+		return 1
+	}
+	if r := c.EffReplicas(); w > r {
+		return r
+	}
+	return w
+}
+
+// EffReadQuorum returns the effective read quorum R′: the explicit ReadQuorum
+// when set, otherwise the smallest value satisfying W + R′ > R (so a read set
+// always intersects a committed write set), which is 1 in the legacy W ≤ 1
+// regime.
+func (c *Config) EffReadQuorum() int {
+	r := c.EffReplicas()
+	if r <= 1 {
+		return 1
+	}
+	if rq := c.ReadQuorum; rq > 0 {
+		if rq > r {
+			return r
+		}
+		return rq
+	}
+	if w := c.EffWriteQuorum(); w > 1 {
+		return r - w + 1
+	}
+	return 1
 }
 
 // CachePages converts ComputeCacheBytes into whole pages.

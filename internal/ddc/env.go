@@ -562,8 +562,11 @@ func remoteFault(e *Env, pg mem.PageID, write bool) {
 	// A remote fault issued during a memory-controller outage has nowhere
 	// to go: the compute pool stalls until the controller restarts. On a
 	// sharded pool the fetch instead fails over to a live replica of the
-	// page's shard when the primary alone is down.
-	p.M.AccessPage(e.T, pg, false)
+	// page's shard when the primary alone is unusable. The fault is one
+	// logical read, so it routes — and, during an outage, counts a
+	// failover — exactly once, and the pool-miss leg below reuses the
+	// serving shard instead of routing again.
+	served := p.M.AccessPage(e.T, pg, write)
 	p.stats.RemoteFaults++
 	fstart := e.T.Now()
 	sp := p.M.Tracer().Begin(e.T, trace.KindRemoteFault, uint64(pg), b2i(write))
@@ -571,7 +574,7 @@ func remoteFault(e *Env, pg mem.PageID, write bool) {
 	hs := e.T.Now()
 	e.T.AdvanceNs(cfg.FaultHandleNs)
 	p.M.Times.Add(metrics.CompFaultSW, e.T.Now()-hs)
-	p.EnsureInPool(e.T, pg, write)
+	p.ensureInPool(e.T, pg, write, served)
 	if p.hooks != nil {
 		p.hooks.ComputeFaulted(e.T, pg, write)
 	}

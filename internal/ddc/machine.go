@@ -57,9 +57,21 @@ type Machine struct {
 	ShardStats []ShardStat
 
 	// resync holds, per shard, the journal of pages whose copy on that
-	// shard went stale during an outage; resyncShard replays it on
-	// recovery. Nil on single-shard pools.
+	// shard missed a write during an outage or partition; drainHandoff
+	// replays it before the shard serves traffic again. Nil on
+	// single-shard pools.
 	resync []resyncQueue
+
+	// pageVer tags every page's latest committed version and shardVer[s]
+	// the version of shard s's copy, so failover reads detect staleness
+	// (see shard.go). Pure metadata — reads and writes cost no virtual
+	// time. Nil unless the pool is both sharded and replicated.
+	pageVer  map[mem.PageID]uint64
+	shardVer []map[mem.PageID]uint64
+
+	// handoffDepth counts queued handoff/re-sync records across all
+	// shards, mirrored into the "shard.handoff.depth" gauge.
+	handoffDepth int64
 
 	spans *trace.Tracer // lazily built over Trace; see Tracer()
 }
@@ -77,6 +89,13 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if k := cfg.Shards(); k > 1 {
 		m.ShardStats = make([]ShardStat, k)
 		m.resync = make([]resyncQueue, k)
+		if cfg.EffReplicas() > 1 {
+			m.pageVer = make(map[mem.PageID]uint64)
+			m.shardVer = make([]map[mem.PageID]uint64, k)
+			for s := range m.shardVer {
+				m.shardVer[s] = make(map[mem.PageID]uint64)
+			}
+		}
 	}
 	return m, nil
 }
@@ -168,7 +187,13 @@ func (m *Machine) CounterSource() func() map[string]int64 {
 			out[fmt.Sprintf("shard.%d.failover-reads", s)] = st.FailoverReads
 			out[fmt.Sprintf("shard.%d.resync-pages", s)] = st.ResyncPages
 			out[fmt.Sprintf("shard.%d.stalls", s)] = st.Stalls
+			out[fmt.Sprintf("shard.%d.handoff-records", s)] = st.HandoffRecords
+			out[fmt.Sprintf("shard.%d.handoff-replays", s)] = st.HandoffReplays
+			out[fmt.Sprintf("shard.%d.read-repairs", s)] = st.ReadRepairs
+			out[fmt.Sprintf("shard.%d.stale-averted", s)] = st.StaleReadsAverted
+			out[fmt.Sprintf("shard.%d.quorum-stalls", s)] = st.QuorumStalls
 		}
+		out["shard.handoff.queued"] = m.handoffDepth
 		return out
 	}
 }
@@ -363,22 +388,35 @@ func (p *Process) ResizePool(bytes int64) {
 // in from the storage pool if necessary and charging t for the I/O. Write
 // marks the pool copy dirty (it will need a storage write-back on eviction).
 func (p *Process) EnsureInPool(t *sim.Thread, pg mem.PageID, write bool) {
+	p.ensureInPool(t, pg, write, -1)
+	//lint:allow timecharge delegates to ensureInPool: every pool-miss path charges, DRAM hits are free by design
+}
+
+// ensureInPool is EnsureInPool with optional pre-routing: served ≥ 0 means
+// the caller already routed this logical access through AccessPage (a remote
+// fault routes once for its whole compute→pool→storage chain), so the
+// pool-miss path reuses that shard instead of routing — and counting a
+// failover — a second time for the same read. The whole-controller outage
+// stall still applies either way: the storage fault needs the controller up.
+func (p *Process) ensureInPool(t *sim.Thread, pg mem.PageID, write bool, served int) {
 	if p.PoolRes == nil {
-		//lint:allow timecharge unbounded pool is always resident: there is no fault to charge
-		return
+		return // unbounded pool is always resident: there is no fault to charge
 	}
 	if _, _, ok := p.PoolRes.Lookup(pg); ok {
 		if write {
 			p.PoolRes.MarkDirty(pg)
 		}
-		//lint:allow timecharge pool DRAM hit is free by design: only faults charge I/O
-		return
+		return // pool DRAM hit is free by design: only faults charge I/O
 	}
 	// Recursive fault to the storage pool (§2.1): controller message plus
 	// the device access. A crashed controller stalls the fault until it
 	// restarts; on a sharded pool the fault is served by the page's shard,
 	// failing over to a live replica during the shard's outage.
-	served := p.M.AccessPage(t, pg, write)
+	if served < 0 {
+		served = p.M.AccessPage(t, pg, write)
+	} else {
+		p.M.WaitPoolUp(t)
+	}
 	p.stats.StorageInFault++
 	sp := p.M.Tracer().Begin(t, trace.KindStorageFault, uint64(pg), b2i(write))
 	p.M.Fabric.RoundTrip(t, faultReqBytes, pageRespBytes, netmodel.ClassStorage)

@@ -175,6 +175,43 @@ func TestReplicatePageFanOut(t *testing.T) {
 	}
 }
 
+// A remote fault is one logical read even when its pool-miss leg recursively
+// faults to the storage pool: during a shard outage the whole
+// compute→pool→storage chain routes — and counts a failover — exactly once.
+// Regression test: the storage leg used to re-route through AccessPage and
+// double-count the failover.
+func TestRemoteFaultWithStorageLegCountsOneFailover(t *testing.T) {
+	m, plan := shardMachine(t, 4, 2)
+	p := m.NewProcess()
+	th := sim.NewThread("t")
+	const pages = 8
+	a := p.Space.AllocPages(pages*mem.PageSize, "v")
+	env := p.NewEnv(th)
+	for i := 0; i < pages; i++ {
+		env.WriteI64(a+mem.Addr(i)*mem.PageSize, int64(i))
+	}
+	// A one-page cache forces the read below to remote-fault, and a one-page
+	// pool guarantees the faulted page is not pool-resident, so the fault
+	// recurses to the storage pool.
+	p.ResizeCache(mem.PageSize)
+	p.ResizePool(mem.PageSize)
+	down := th.Now() + 10*sim.Microsecond
+	plan.SetShardWindows(0, fault.Window{Down: down, Up: down + 10*sim.Millisecond})
+	th.AdvanceTo(down + sim.Microsecond)
+
+	// Pick a page whose primary is the crashed shard 0.
+	first, _ := mem.PageSpan(a, 1)
+	off := (4 - int(first)%4) % 4
+	pre := p.Stats().StorageInFault
+	env.ReadI64(a + mem.Addr(off)*mem.PageSize)
+	if got := p.Stats().StorageInFault - pre; got != 1 {
+		t.Fatalf("storage in-faults = %d, want 1 (the read must take the pool-miss leg)", got)
+	}
+	if st := m.ShardStats[0]; st.FailoverReads != 1 {
+		t.Fatalf("FailoverReads = %d, want 1: one logical read routes once", st.FailoverReads)
+	}
+}
+
 func TestConfigShardValidation(t *testing.T) {
 	cfg := BaseDDC(64 * mem.PageSize)
 	cfg.PoolShards, cfg.Replicas = 2, 3 // more copies than shards

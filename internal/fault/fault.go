@@ -68,6 +68,25 @@ type Profile struct {
 	ShardMeanUp   sim.Time
 	ShardMeanDown sim.Time
 
+	// LinkMeanUp and LinkMeanDown drive per-directed-link partition
+	// schedules between pool endpoints (the compute node and each shard):
+	// each ordered (from, to) pair gets its own independent outage
+	// schedule with these means, derived from its own RNG stream so
+	// querying links never shifts any crash schedule above — and the two
+	// directions of a pair fail independently, so partitions are
+	// asymmetric (A can reach B while B cannot reach A). LinkMeanUp == 0
+	// disables per-link partitions.
+	LinkMeanUp   sim.Time
+	LinkMeanDown sim.Time
+
+	// SplitMeanUp and SplitMeanDown drive one correlated split-brain
+	// schedule: during each split window, every link whose endpoints sit
+	// on opposite sides of a fixed parity cut (compute with the
+	// even-numbered shards, odd-numbered shards on the far side) is down
+	// in both directions. SplitMeanUp == 0 disables splits.
+	SplitMeanUp   sim.Time
+	SplitMeanDown sim.Time
+
 	// CtxCrashProb is the probability one pushdown's temporary user
 	// context crashes before the pushed function commits.
 	CtxCrashProb float64
@@ -102,12 +121,14 @@ type Counters struct {
 	SSDReadErrors int64 // SSD read errors injected
 	PoolWindows   int64 // whole-controller crash windows generated so far
 	ShardWindows  int64 // per-shard crash windows generated so far (all shards)
+	LinkWindows   int64 // per-directed-link partition windows generated so far (all links)
+	SplitWindows  int64 // correlated split-brain windows generated so far
 }
 
 // String summarises the counters.
 func (c Counters) String() string {
-	return fmt.Sprintf("drops=%d corrupt=%d spikes=%d ctx-crashes=%d ctx-mid-crashes=%d ssd-errs=%d crash-windows=%d shard-windows=%d",
-		c.Drops, c.Corruptions, c.Spikes, c.CtxCrashes, c.CtxMidCrashes, c.SSDReadErrors, c.PoolWindows, c.ShardWindows)
+	return fmt.Sprintf("drops=%d corrupt=%d spikes=%d ctx-crashes=%d ctx-mid-crashes=%d ssd-errs=%d crash-windows=%d shard-windows=%d link-windows=%d split-windows=%d",
+		c.Drops, c.Corruptions, c.Spikes, c.CtxCrashes, c.CtxMidCrashes, c.SSDReadErrors, c.PoolWindows, c.ShardWindows, c.LinkWindows, c.SplitWindows)
 }
 
 // Map flattens the counters into named values, for merging into a run-wide
@@ -123,6 +144,8 @@ func (c Counters) Map() map[string]int64 {
 		"fault.ssd-read-errs": c.SSDReadErrors,
 		"fault.pool-windows":  c.PoolWindows,
 		"fault.shard-windows": c.ShardWindows,
+		"fault.link-windows":  c.LinkWindows,
+		"fault.split-windows": c.SplitWindows,
 	}
 }
 
@@ -167,8 +190,23 @@ type Plan struct {
 	root   *sim.RNG
 	shards map[int]*shardSched
 
+	// Per-directed-link partition schedules and the correlated split-brain
+	// schedule, also derived lazily on pure salts so enabling partitions
+	// never shifts the crash schedules above.
+	links map[linkKey]*shardSched
+	split *shardSched
+
 	c Counters
 }
+
+// EndpointCompute is the link-endpoint index of the compute node; pool shards
+// are endpoints 0..K-1. Link schedules are keyed by ordered endpoint pairs,
+// so (EndpointCompute, 2) is the compute→shard-2 direction and (2,
+// EndpointCompute) the reverse.
+const EndpointCompute = -1
+
+// linkKey identifies one direction of one endpoint pair.
+type linkKey struct{ from, to int }
 
 // shardSched is one shard's independent crash schedule, with the same lazy
 // generation model as the whole-controller schedule.
@@ -181,6 +219,32 @@ type shardSched struct {
 
 // shardSaltBase offsets shard stream salts past the fixed layer salts (1–5).
 const shardSaltBase = 0x100
+
+// splitSalt and linkSaltBase place the split-brain and per-link streams far
+// past the shard salts, so partition schedules never collide with a shard
+// stream no matter how many shards exist. A link salt is a pure function of
+// the ordered (from, to) endpoint pair — independent of the shard count —
+// so link (a, b)'s schedule is identical no matter how many other links or
+// shards are queried, and (a, b) and (b, a) draw from distinct streams
+// (asymmetric partitions).
+const (
+	splitSalt    = 0x8000
+	linkSaltBase = 0x10000
+)
+
+func linkSalt(k linkKey) uint64 {
+	return linkSaltBase + uint64(k.from+1)*0x200 + uint64(k.to+1)
+}
+
+// splitSide maps a link endpoint onto its side of the fixed split-brain cut:
+// the compute node sits with the even-numbered shards; odd-numbered shards
+// are on the far side. A split window only severs links that cross the cut.
+func splitSide(endpoint int) int {
+	if endpoint == EndpointCompute {
+		return 0
+	}
+	return endpoint & 1
+}
 
 // NewPlan instantiates prof with the given seed.
 func NewPlan(prof Profile, seed int64) *Plan {
@@ -324,10 +388,16 @@ func (p *Plan) ShardDownAt(shard int, at sim.Time) (recoverAt sim.Time, down boo
 
 // extendShard generates shard crash windows until sc covers at.
 func (p *Plan) extendShard(sc *shardSched, at sim.Time) {
-	if sc.static || p.Prof.ShardMeanUp <= 0 {
+	extendSched(sc, at, p.Prof.ShardMeanUp, p.Prof.ShardMeanDown, &p.c.ShardWindows)
+}
+
+// extendSched generates outage windows on sc's own stream until the schedule
+// covers at: uptime Uniform[½·mu, 1½·mu], outage Uniform[½·md, 1½·md], md
+// defaulting to 1 ms. Window k is a pure function of (sc's salt, mu, md, k).
+func extendSched(sc *shardSched, at sim.Time, mu, md sim.Time, generated *int64) {
+	if sc.static || mu <= 0 {
 		return
 	}
-	mu, md := p.Prof.ShardMeanUp, p.Prof.ShardMeanDown
 	if md <= 0 {
 		md = sim.Millisecond
 	}
@@ -336,8 +406,17 @@ func (p *Plan) extendShard(sc *shardSched, at sim.Time) {
 		up := down + sc.rng.Duration(md/2, md+md/2)
 		sc.windows = append(sc.windows, window{Down: down, Up: up})
 		sc.cursor = up
-		p.c.ShardWindows++
+		*generated++
 	}
+}
+
+// downAt reports whether an extended schedule has an outage covering at.
+func (sc *shardSched) downAt(at sim.Time) (recoverAt sim.Time, down bool) {
+	i := sort.Search(len(sc.windows), func(i int) bool { return sc.windows[i].Up > at })
+	if i < len(sc.windows) && sc.windows[i].Down <= at {
+		return sc.windows[i].Up, true
+	}
+	return 0, false
 }
 
 // SetShardWindows pins shard's crash schedule to exactly the given windows —
@@ -362,6 +441,120 @@ func (p *Plan) SetShardWindows(shard int, ws ...Window) {
 		p.c.ShardWindows++
 	}
 	sc.cursor = prev
+}
+
+// linkSchedule returns the (from, to) direction's partition schedule,
+// creating it on first use from a salt that is a pure function of the ordered
+// pair, so one link's schedule never depends on which other links exist or in
+// what order they are queried.
+func (p *Plan) linkSchedule(key linkKey) *shardSched {
+	if p.links == nil {
+		p.links = make(map[linkKey]*shardSched)
+	}
+	sc := p.links[key]
+	if sc == nil {
+		sc = &shardSched{rng: p.root.Derive(linkSalt(key))}
+		p.links[key] = sc
+	}
+	return sc
+}
+
+// splitSchedule returns the correlated split-brain schedule, creating it on
+// first use.
+func (p *Plan) splitSchedule() *shardSched {
+	if p.split == nil {
+		p.split = &shardSched{rng: p.root.Derive(splitSalt)}
+	}
+	return p.split
+}
+
+// LinkDownAt reports whether the directed link from endpoint from to endpoint
+// to (EndpointCompute or a shard index) is partitioned at virtual time at; if
+// it is, recoverAt is when that direction heals. A link is down when its own
+// per-direction schedule has an outage, or when a split-brain window is open
+// and the endpoints sit on opposite sides of the cut; when both apply,
+// recoverAt is the later heal. Link faults are independent of the endpoint
+// crash schedules: a shard can be up yet unreachable.
+func (p *Plan) LinkDownAt(from, to int, at sim.Time) (recoverAt sim.Time, down bool) {
+	if p == nil || from == to || from < EndpointCompute || to < EndpointCompute {
+		return 0, false
+	}
+	key := linkKey{from: from, to: to}
+	if sc := p.links[key]; sc != nil || p.Prof.LinkMeanUp > 0 {
+		if sc == nil {
+			sc = p.linkSchedule(key)
+		}
+		extendSched(sc, at, p.Prof.LinkMeanUp, p.Prof.LinkMeanDown, &p.c.LinkWindows)
+		recoverAt, down = sc.downAt(at)
+	}
+	if p.Prof.SplitMeanUp > 0 && splitSide(from) != splitSide(to) {
+		sc := p.splitSchedule()
+		extendSched(sc, at, p.Prof.SplitMeanUp, p.Prof.SplitMeanDown, &p.c.SplitWindows)
+		if rec, d := sc.downAt(at); d {
+			if !down || rec > recoverAt {
+				recoverAt = rec
+			}
+			down = true
+		}
+	}
+	return recoverAt, down
+}
+
+// SetLinkWindows pins the (from, to) direction's partition schedule to
+// exactly the given windows — sorted by Down, non-overlapping — overriding
+// any randomised schedule the profile would generate for it. Partition tests
+// use it to sever one link direction at exact virtual-time instants.
+func (p *Plan) SetLinkWindows(from, to int, ws ...Window) {
+	if p == nil || from == to || from < EndpointCompute || to < EndpointCompute {
+		return
+	}
+	sc := p.linkSchedule(linkKey{from: from, to: to})
+	sc.static = true
+	sc.windows = nil
+	var prev sim.Time
+	for _, w := range ws {
+		if w.Up < w.Down || w.Down < prev {
+			panic(fmt.Sprintf("fault: SetLinkWindows windows must be sorted and non-overlapping, got [%v,%v) after %v",
+				w.Down, w.Up, prev))
+		}
+		prev = w.Up
+		sc.windows = append(sc.windows, window{Down: w.Down, Up: w.Up})
+		p.c.LinkWindows++
+	}
+	sc.cursor = prev
+}
+
+// LinkWindowsThrough returns the (from, to) direction's partition windows
+// that begin before at, oldest first, extending a randomised schedule as
+// needed. Split-brain windows are included when the endpoints cross the cut,
+// so the result is the full set of instants LinkDownAt reports down for.
+func (p *Plan) LinkWindowsThrough(from, to int, at sim.Time) []Window {
+	if p == nil || from == to || from < EndpointCompute || to < EndpointCompute {
+		return nil
+	}
+	var out []Window
+	key := linkKey{from: from, to: to}
+	if sc := p.links[key]; sc != nil || p.Prof.LinkMeanUp > 0 {
+		if sc == nil {
+			sc = p.linkSchedule(key)
+		}
+		extendSched(sc, at, p.Prof.LinkMeanUp, p.Prof.LinkMeanDown, &p.c.LinkWindows)
+		out = copyWindows(sc.windows, at)
+	}
+	if p.Prof.SplitMeanUp > 0 && splitSide(from) != splitSide(to) {
+		sc := p.splitSchedule()
+		extendSched(sc, at, p.Prof.SplitMeanUp, p.Prof.SplitMeanDown, &p.c.SplitWindows)
+		out = append(out, copyWindows(sc.windows, at)...)
+	}
+	return out
+}
+
+// HasLinkFaults reports whether the plan can partition links at all — the
+// profile enables per-link or split-brain schedules, or a test pinned
+// explicit link windows. Callers use it to skip per-link bookkeeping on
+// crash-only plans.
+func (p *Plan) HasLinkFaults() bool {
+	return p != nil && (p.Prof.LinkMeanUp > 0 || p.Prof.SplitMeanUp > 0 || len(p.links) > 0)
 }
 
 // WindowsThrough returns the whole-controller crash windows that begin before

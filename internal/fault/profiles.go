@@ -103,6 +103,59 @@ func ShardChaos() Profile {
 	return p
 }
 
+// PartitionFlap partitions individual link directions between the compute
+// node and pool shards (and between shards) roughly every 1 ms of virtual
+// time for ~150 µs each, with every endpoint staying up — the pure
+// network-partition regime that quorum writes, hinted handoff, and
+// read-repair exist for. Directions fail independently, so most outages are
+// asymmetric. The cadence is fast enough that even millisecond-scale
+// workloads cross at least one outage per link direction.
+func PartitionFlap() Profile {
+	return Profile{
+		Name:         "partition-flap",
+		Description:  "each link direction partitions ~every 1ms for ~150µs (endpoints stay up)",
+		LinkMeanUp:   sim.Millisecond,
+		LinkMeanDown: 150 * sim.Microsecond,
+	}
+}
+
+// SplitPool opens correlated split-brain windows roughly every 800 µs for
+// ~150 µs each: the compute node and even-numbered shards on one side,
+// odd-numbered shards on the other, every cut-crossing link down in both
+// directions. With R ≥ 2 replicas straddling the cut, every write during a
+// split exercises quorum commit plus hinted handoff for the far side.
+func SplitPool() Profile {
+	return Profile{
+		Name:          "split-pool",
+		Description:   "split-brain ~every 800µs for ~150µs: odd shards partitioned from compute + even shards",
+		SplitMeanUp:   800 * sim.Microsecond,
+		SplitMeanDown: 150 * sim.Microsecond,
+	}
+}
+
+// PartitionChaos layers asymmetric link flaps, split-brain windows, and
+// per-shard crashes on top of the full chaos mix, so hinted handoff and
+// read-repair run concurrently with failover, message loss, whole-controller
+// outages, context crashes, and SSD errors.
+func PartitionChaos() Profile {
+	p := Chaos()
+	p.Name = "partition-chaos"
+	p.Description = "chaos + shard crashes + link flaps + split-brain windows"
+	p.ShardMeanUp = 3 * sim.Millisecond
+	p.ShardMeanDown = 200 * sim.Microsecond
+	p.LinkMeanUp = 1500 * sim.Microsecond
+	p.LinkMeanDown = 100 * sim.Microsecond
+	p.SplitMeanUp = 2 * sim.Millisecond
+	p.SplitMeanDown = 120 * sim.Microsecond
+	return p
+}
+
+// HasPartitions reports whether the profile can sever links (per-link or
+// split-brain schedules enabled).
+func (p Profile) HasPartitions() bool {
+	return p.LinkMeanUp > 0 || p.SplitMeanUp > 0
+}
+
 // Params renders the profile's active fault knobs on one line, for the CLI
 // profile listing. A profile that injects nothing reports "no faults".
 func (p Profile) Params() string {
@@ -119,6 +172,12 @@ func (p Profile) Params() string {
 	}
 	if p.ShardMeanUp > 0 {
 		parts = append(parts, fmt.Sprintf("shard mean-up=%v mean-down=%v", p.ShardMeanUp, p.ShardMeanDown))
+	}
+	if p.LinkMeanUp > 0 {
+		parts = append(parts, fmt.Sprintf("link mean-up=%v mean-down=%v", p.LinkMeanUp, p.LinkMeanDown))
+	}
+	if p.SplitMeanUp > 0 {
+		parts = append(parts, fmt.Sprintf("split mean-up=%v mean-down=%v", p.SplitMeanUp, p.SplitMeanDown))
 	}
 	if p.CtxCrashProb > 0 {
 		parts = append(parts, fmt.Sprintf("ctx-crash=%.3g", p.CtxCrashProb))
@@ -137,7 +196,8 @@ func (p Profile) Params() string {
 
 // Profiles returns every shipped profile.
 func Profiles() []Profile {
-	return []Profile{FlakyNet(), CrashyPool(), FlakySSD(), MidCrash(), Chaos(), ShardFlap(), ShardChaos()}
+	return []Profile{FlakyNet(), CrashyPool(), FlakySSD(), MidCrash(), Chaos(), ShardFlap(), ShardChaos(),
+		PartitionFlap(), SplitPool(), PartitionChaos()}
 }
 
 // ProfileNames lists the shipped profile names.

@@ -54,9 +54,13 @@ const (
 	KindPushRetryWait // recovery-policy backoff between pushdown attempts
 
 	// Sharded-pool fault-domain events.
-	KindShardDown    // pushdown shed: a resident page's whole replica set is down
-	KindFailover     // span: a page access served by a replica while its primary shard is down
-	KindShardRecover // span: re-sync journal replayed on a recovered shard (Arg: pages)
+	KindShardDown        // pushdown shed: a resident page's whole replica set is down
+	KindFailover         // span: a page access served by a replica while its primary shard is down
+	KindShardRecover     // span: re-sync journal replayed on a recovered shard (Arg: pages)
+	KindHintedHandoff    // quorum write enqueued a handoff record for an unreachable replica (Arg: target shard)
+	KindReadRepair       // span: failover read detected a stale copy and repaired it from the freshest reachable replica
+	KindShardAntiEntropy // span: anti-entropy sweep delivered hinted-handoff records over a healed link (Arg: pages)
+	KindPartitionHeal    // first traffic over a healed link drained that shard's handoff queue (Arg: shard)
 	numKinds
 )
 
@@ -69,6 +73,7 @@ var kindNames = [numKinds]string{
 	"rpc", "ssd-read", "ssd-write", "pushdown", "push-queue",
 	"push-setup", "push-exec", "push-sync", "push-retry-wait",
 	"shard-down", "failover", "shard-recover",
+	"hinted-handoff", "read-repair", "shard-anti-entropy", "partition-heal",
 }
 
 // String names the kind.
