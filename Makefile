@@ -33,11 +33,11 @@ chaos-soak:
 
 # Host benchmark: regenerate the figure suite timed and write the host
 # performance report (per-figure wall-clock ns + heap allocations).
-# BENCH_5.json is the tracked baseline, produced by this target at the
+# BENCH_10.json is the tracked baseline, produced by this target at the
 # reduced scale below; CI's bench-smoke job reruns it and fails on a >25%
 # wall-clock regression. Refresh the baseline (make bench, commit the
 # file) whenever the suite's host cost legitimately changes.
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_10.json
 BENCH_BASELINE ?=
 BENCH_FLAGS ?= -scale 0.5 -graph-nv 15000 -words 60000 -quiet
 bench:

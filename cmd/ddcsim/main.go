@@ -38,6 +38,9 @@ func main() {
 	var (
 		workload   = flag.String("workload", "Q6", "comma-separated list from "+strings.Join(bench.WorkloadNames(), ", "))
 		parallel   = flag.Int("parallel", 0, "concurrent workloads on the host: 0 = one per core (GOMAXPROCS), 1 = sequential, n = n workers")
+		cluster    = flag.Int("cluster", 0, "run the multi-machine cluster workload on this many machines instead of -workload (0 = off)")
+		clRounds   = flag.Int("cluster-rounds", 4, "cluster workload BSP supersteps")
+		simWorkers = flag.Int("sim-workers", 0, "host goroutines draining simulation domains inside one lookahead window: 0 = one per core (GOMAXPROCS), 1 = sequential; virtual results are bit-identical at any setting")
 		platform   = flag.String("platform", "base-ddc", "one of "+strings.Join(bench.PlatformNames(), ", "))
 		scale      = flag.Float64("scale", defaults.Scale, "TPC-H micro scale factor")
 		graphNV    = flag.Int("graph-nv", defaults.GraphNV, "graph vertex count")
@@ -100,6 +103,18 @@ func main() {
 		BreakerThreshold: *brThresh,
 		BreakerCooldown:  sim.FromNs(*brCoolUs * 1e3),
 		Parallel:         *parallel,
+		SimWorkers:       *simWorkers,
+	}
+	if *cluster > 0 {
+		// Cluster mode prints only deterministic bytes on stdout: CI runs
+		// it at -sim-workers 1 and 8 and compares the outputs verbatim.
+		res, err := bench.RunCluster(opts, *cluster, *clRounds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res.Fprint(os.Stdout)
+		return
 	}
 	names := strings.Split(*workload, ",")
 	for i := range names {

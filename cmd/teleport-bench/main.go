@@ -8,8 +8,8 @@
 //	teleport-bench -fig 6,7,20          # several
 //	teleport-bench -scale 4 -seed 7     # bigger workloads
 //	teleport-bench -parallel 1          # force sequential data points
-//	teleport-bench -bench-out BENCH_5.json             # host benchmark report
-//	teleport-bench -bench-out b.json -bench-baseline BENCH_5.json
+//	teleport-bench -bench-out BENCH_10.json            # host benchmark report
+//	teleport-bench -bench-out b.json -bench-baseline BENCH_10.json
 //	teleport-bench -workload Q6 -percentiles           # forensic drill-down
 //	teleport-bench -workload Q6 -chaos-profile chaos -profile-out q6.folded -incident-out q6.jsonl
 //
@@ -34,17 +34,18 @@ import (
 func main() {
 	defaults := bench.Defaults()
 	var (
-		fig       = flag.String("fig", "all", "figure id(s), comma separated, or 'all'")
-		scale     = flag.Float64("scale", defaults.Scale, "TPC-H micro scale factor (lineitem = 60000*scale rows)")
-		graphNV   = flag.Int("graph-nv", defaults.GraphNV, "graph vertex count")
-		words     = flag.Int("words", defaults.Words, "MapReduce corpus size in tokens")
-		seed      = flag.Int64("seed", defaults.Seed, "generator seed")
-		cacheFrac = flag.Float64("cache-frac", defaults.CacheFrac, "compute-local cache as a fraction of the working set")
-		parallel  = flag.Int("parallel", 0, "concurrent figure data points on the host: 0 = one per core (GOMAXPROCS), 1 = sequential, n = n workers")
-		shards    = flag.Int("pool-shards", 0, "memory-pool shard count for disaggregated platforms (0/1 = single controller)")
-		replicas  = flag.Int("replicas", 0, "synchronous page replicas across shards (0/1 = unreplicated)")
-		writeQ    = flag.Int("write-quorum", 0, "replica acks a page write needs to commit; unreachable replicas get hinted handoff (0/1 = legacy fan-out)")
-		list      = flag.Bool("list", false, "list figure ids and exit")
+		fig        = flag.String("fig", "all", "figure id(s), comma separated, or 'all'")
+		scale      = flag.Float64("scale", defaults.Scale, "TPC-H micro scale factor (lineitem = 60000*scale rows)")
+		graphNV    = flag.Int("graph-nv", defaults.GraphNV, "graph vertex count")
+		words      = flag.Int("words", defaults.Words, "MapReduce corpus size in tokens")
+		seed       = flag.Int64("seed", defaults.Seed, "generator seed")
+		cacheFrac  = flag.Float64("cache-frac", defaults.CacheFrac, "compute-local cache as a fraction of the working set")
+		parallel   = flag.Int("parallel", 0, "concurrent figure data points on the host: 0 = one per core (GOMAXPROCS), 1 = sequential, n = n workers")
+		simWorkers = flag.Int("sim-workers", 0, "host goroutines draining simulation domains of the multi-machine cluster benchmark: 0 = one per core, 1 = sequential; virtual results are bit-identical at any setting")
+		shards     = flag.Int("pool-shards", 0, "memory-pool shard count for disaggregated platforms (0/1 = single controller)")
+		replicas   = flag.Int("replicas", 0, "synchronous page replicas across shards (0/1 = unreplicated)")
+		writeQ     = flag.Int("write-quorum", 0, "replica acks a page write needs to commit; unreachable replicas get hinted handoff (0/1 = legacy fan-out)")
+		list       = flag.Bool("list", false, "list figure ids and exit")
 
 		benchOut  = flag.String("bench-out", "", "run the whole suite timed and write the host benchmark report (wall-clock + allocs per figure) to this file")
 		baseline  = flag.String("bench-baseline", "", "compare the report against this tracked baseline and fail on regression")
@@ -75,6 +76,7 @@ func main() {
 		Seed:        *seed,
 		CacheFrac:   *cacheFrac,
 		Parallel:    *parallel,
+		SimWorkers:  *simWorkers,
 		PoolShards:  *shards,
 		Replicas:    *replicas,
 		WriteQuorum: *writeQ,
@@ -117,6 +119,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bench: suite took %.2fs wall (%d workers, gomaxprocs %d), %d mallocs; wrote %s\n",
 			float64(rep.TotalWallNs)/1e9, rep.Workers, rep.GoMaxProcs, rep.TotalMallocs, *benchOut)
+		if cl := rep.Cluster; cl != nil {
+			fmt.Fprintf(os.Stderr, "bench: cluster %d machines × %d rounds: %.2fs at 1 sim worker, %.2fs at %d (%.2fx, identical virtual results)\n",
+				cl.Machines, cl.Rounds, float64(cl.SeqWallNs)/1e9, float64(cl.ParWallNs)/1e9, cl.SimWorkers, cl.Speedup)
+		}
 		if *baseline != "" {
 			base, err := bench.ReadHostReport(*baseline)
 			if err != nil {

@@ -44,7 +44,7 @@ var Analyzer = &analysis.Analyzer{
 // confined registers the mutable simulator types by package base and
 // name (fixtures use stand-in packages with the same bases).
 var confined = map[string]map[string]bool{
-	"sim":   {"Thread": true, "Scheduler": true},
+	"sim":   {"Thread": true, "Scheduler": true, "Domain": true},
 	"ddc":   {"Machine": true, "Process": true, "Env": true, "PageCache": true},
 	"mem":   {"Space": true},
 	"core":  {"Runtime": true},

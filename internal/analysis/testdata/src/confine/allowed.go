@@ -12,3 +12,22 @@ func allowedHandoff(t *sim.Thread, done chan struct{}) {
 		done <- struct{}{}
 	}()
 }
+
+// The parallel scheduler's one sanctioned crossing: the coordinator
+// hands each domain to a window worker, and the barrier (job send →
+// ack receive) sequences every access — no two goroutines ever hold a
+// domain in the same window. The worker side is clean by construction:
+// it only touches domains it received from the jobs channel.
+func allowedWindowWorker(jobs chan *sim.Domain, ack chan struct{}) {
+	go func() {
+		for d := range jobs {
+			d.Spawn("drain", func(t *sim.Thread) {})
+			ack <- struct{}{}
+		}
+	}()
+}
+
+func dispatchWindows(jobs chan *sim.Domain, ack chan struct{}, d *sim.Domain) {
+	jobs <- d //lint:allow confine barrier protocol: receiver owns the domain until it acks
+	<-ack
+}

@@ -38,3 +38,26 @@ func sendLeak(ch chan *sim.Thread, t *sim.Thread) {
 func sendMachine(ch chan *ddc.Machine, m *ddc.Machine) {
 	ch <- m // want `sending mutable simulator state \(ddc\.Machine\) across a channel`
 }
+
+// A domain belongs to whichever window worker currently holds it; a
+// goroutine that captures one races the coordinator's barrier state.
+func domainCaptureLeak(d *sim.Domain, done chan struct{}) {
+	go func() {
+		d.Spawn("rogue", func(t *sim.Thread) {}) // want `captures mutable simulator state \("d", sim\.Domain\)`
+		done <- struct{}{}
+	}()
+}
+
+// Shipping domains through a channel builds an ad-hoc worker pool
+// outside the scheduler's coordinated window protocol.
+func sendDomain(ch chan *sim.Domain, d *sim.Domain) {
+	ch <- d // want `sending mutable simulator state \(sim\.Domain\) across a channel`
+}
+
+// Handing the whole scheduler to a goroutine is the same leak one
+// level up.
+func schedulerArgLeak(s *sim.Scheduler) {
+	go func(owner *sim.Scheduler) {
+		owner.Go("rogue", func(t *sim.Thread) {})
+	}(s) // want `passing mutable simulator state \(sim\.Scheduler\) to a goroutine`
+}

@@ -46,3 +46,21 @@ func (s *Scheduler) Go(name string, fn func(*Thread)) {
 	s.threads = append(s.threads, t)
 	fn(t)
 }
+
+// Domain mimics a simulated machine's thread group in the parallel
+// scheduler: its heap and horizon are mutated by the window worker that
+// currently owns it, so it is confined state like Thread and Scheduler.
+type Domain struct {
+	name    string
+	horizon Time
+}
+
+// Spawn launches fn on a fresh thread inside the domain.
+func (d *Domain) Spawn(name string, fn func(*Thread)) *Thread {
+	t := &Thread{name: name}
+	fn(t)
+	return t
+}
+
+// Name returns the domain's name.
+func (d *Domain) Name() string { return d.name }

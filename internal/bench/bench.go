@@ -117,6 +117,14 @@ type Options struct {
 	// counters are bit-identical at any setting (see parallel.go).
 	Parallel int
 
+	// SimWorkers bounds how many host goroutines drain the domains of one
+	// multi-machine simulation (RunCluster) inside a conservative lookahead
+	// window: 0 uses one worker per host core (GOMAXPROCS), 1 forces
+	// sequential window draining, n>1 uses n workers. Like Parallel it is
+	// host-only: virtual times are bit-identical at any setting, enforced
+	// by TestParallelDeterminism.
+	SimWorkers int
+
 	// pool is the shared worker-token channel; Options is copied by value,
 	// so every figure and leaf job sees the same channel. Created by
 	// withPool at the Run/RunAll entry points.

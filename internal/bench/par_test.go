@@ -65,6 +65,27 @@ func TestParallelDeterminism(t *testing.T) {
 					t.Errorf("parallel run %d fault counters diverge:\n%v\nvs\n%v", i, pr.Fault, seqRes.Fault)
 				}
 			}
+
+			// Intra-run parallelism: the same multi-machine simulation with
+			// its domains drained by 1 vs 4 vs 8 host workers must produce a
+			// deep-equal result — makespan, per-node clocks, fault counters,
+			// even the baton-handoff count.
+			clOpts := opts
+			clOpts.SimWorkers = 1
+			base, err := RunCluster(clOpts, 4, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{4, 8} {
+				clOpts.SimWorkers = w
+				got, err := RunCluster(clOpts, 4, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("cluster run with %d sim workers diverged from sequential:\n%+v\nvs\n%+v", w, got, base)
+				}
+			}
 		})
 	}
 }

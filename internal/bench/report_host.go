@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 )
@@ -22,9 +23,11 @@ type FigureHostStat struct {
 	Mallocs uint64 `json:"mallocs"`
 }
 
-// HostReport is the tracked benchmark baseline (BENCH_5.json): the options
+// HostReport is the tracked benchmark baseline (BENCH_10.json): the options
 // that shaped the workloads, the parallelism the suite ran with, and the
-// per-figure host costs.
+// per-figure host costs. Cluster, when present, records the multi-machine
+// workload's intra-run parallel scaling; older baselines without the field
+// still parse and compare (only the figure totals gate regressions).
 type HostReport struct {
 	GoMaxProcs   int              `json:"gomaxprocs"`
 	Workers      int              `json:"workers"`
@@ -35,6 +38,21 @@ type HostReport struct {
 	TotalWallNs  int64            `json:"total_wall_ns"`
 	TotalMallocs uint64           `json:"total_mallocs"`
 	Figures      []FigureHostStat `json:"figures"`
+	Cluster      *ClusterHostStat `json:"cluster,omitempty"`
+}
+
+// ClusterHostStat is the host cost of the multi-machine cluster workload
+// (RunCluster) at one versus many sim workers. The virtual results of the
+// two runs are verified identical before this is recorded; Speedup is
+// bounded by GoMaxProcs — on a single-core host it sits at ~1.0 no matter
+// how parallel the simulation is.
+type ClusterHostStat struct {
+	Machines   int     `json:"machines"`
+	Rounds     int     `json:"rounds"`
+	SimWorkers int     `json:"sim_workers"`
+	SeqWallNs  int64   `json:"seq_wall_ns"`
+	ParWallNs  int64   `json:"par_wall_ns"`
+	Speedup    float64 `json:"speedup"`
 }
 
 // RunAllTimed regenerates every figure in registration order, timing each.
@@ -70,7 +88,55 @@ func RunAllTimed(opts Options) ([]*Table, HostReport) {
 		rep.TotalWallNs += f.WallNs
 		rep.TotalMallocs += f.Mallocs
 	}
+	if cl, err := timeCluster(opts); err == nil {
+		rep.Cluster = cl
+	}
 	return tables, rep
+}
+
+// clusterBenchMachines/Rounds shape the timed multi-machine workload.
+const (
+	clusterBenchMachines = 8
+	clusterBenchRounds   = 4
+)
+
+// timeCluster runs the multi-machine workload sequentially and then with
+// the full worker complement, verifies the virtual results are identical,
+// and reports both host walls. Figure totals deliberately exclude it so
+// BENCH_10.json stays comparable with pre-cluster baselines.
+func timeCluster(opts Options) (*ClusterHostStat, error) {
+	seq := opts
+	seq.SimWorkers = 1
+	start := time.Now() //lint:allow walltime host benchmark measures the simulator, not the simulation
+	r1, err := RunCluster(seq, clusterBenchMachines, clusterBenchRounds)
+	if err != nil {
+		return nil, err
+	}
+	seqWall := time.Since(start) //lint:allow walltime host benchmark measures the simulator, not the simulation
+	par := opts
+	if par.SimWorkers == 1 {
+		par.SimWorkers = 0 // the point is to measure the parallel core
+	}
+	workers := workersFor(par.SimWorkers)
+	start = time.Now() //lint:allow walltime host benchmark measures the simulator, not the simulation
+	rn, err := RunCluster(par, clusterBenchMachines, clusterBenchRounds)
+	if err != nil {
+		return nil, err
+	}
+	parWall := time.Since(start) //lint:allow walltime host benchmark measures the simulator, not the simulation
+	if !reflect.DeepEqual(r1, rn) {
+		return nil, fmt.Errorf("bench: cluster virtual results diverged between 1 and %d sim workers", workers)
+	}
+	stat := &ClusterHostStat{
+		Machines: clusterBenchMachines, Rounds: clusterBenchRounds,
+		SimWorkers: workers,
+		SeqWallNs:  seqWall.Nanoseconds(),
+		ParWallNs:  parWall.Nanoseconds(),
+	}
+	if parWall > 0 {
+		stat.Speedup = float64(seqWall) / float64(parWall)
+	}
+	return stat, nil
 }
 
 // WriteJSON writes the report as indented JSON.

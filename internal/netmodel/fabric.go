@@ -145,6 +145,13 @@ func (f *Fabric) SetMetrics(reg *metrics.Registry) {
 	}
 }
 
+// MinLatency returns the fabric's minimum cross-machine message latency:
+// the per-message wire latency before any payload, queueing, or fault
+// charges. It is the conservative lookahead bound for parallel multi-domain
+// simulation (sim.Scheduler.SetLookahead) — no message between machines on
+// this fabric can arrive sooner than MinLatency after it was sent.
+func (f *Fabric) MinLatency() sim.Time { return sim.FromNs(f.cfg.NetLatencyNs) }
+
 // Send models a one-way message of the given size: latency + transfer time,
 // charged to t, plus any injected transient faults and their retransmissions.
 func (f *Fabric) Send(t *sim.Thread, bytes int, class Class) {

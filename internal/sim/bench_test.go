@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// Microbenchmarks for the event-driven core. BenchmarkSchedulerSwitch times
+// the direct baton handoff (two channel ops per switch), BenchmarkSkipAhead
+// the lone-runnable fast path (no channel ops at all), and
+// BenchmarkParallelWindow the conservative window barrier at 1/4/16
+// domains. All report allocs: the steady-state paths must not allocate.
+
+func BenchmarkSchedulerSwitch(b *testing.B) {
+	s := NewScheduler()
+	s.SetQuantum(0)
+	for i := 0; i < 2; i++ {
+		s.Spawn(fmt.Sprintf("t%d", i), 0, func(th *Thread) {
+			for k := 0; k < b.N; k++ {
+				th.Advance(Microsecond)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkSkipAhead(b *testing.B) {
+	s := NewScheduler()
+	s.SetQuantum(0)
+	s.Spawn("solo", 0, func(th *Thread) {
+		for k := 0; k < b.N; k++ {
+			th.Advance(Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+	b.StopTimer()
+	if got := s.Switches(); got != 1 {
+		b.Fatalf("lone thread parked: %d handoffs, want 1", got)
+	}
+}
+
+func BenchmarkParallelWindow(b *testing.B) {
+	for _, domains := range []int{1, 4, 16} {
+		domains := domains
+		b.Run(fmt.Sprintf("domains=%d", domains), func(b *testing.B) {
+			s := NewScheduler()
+			s.SetQuantum(0)
+			s.SetLookahead(100 * Microsecond)
+			s.SetWorkers(runtime.GOMAXPROCS(0))
+			sink := make([]uint64, domains)
+			for i := 0; i < domains; i++ {
+				i := i
+				dm := s.NewDomain(fmt.Sprintf("m%d", i))
+				dm.Spawn(fmt.Sprintf("c%d", i), 0, func(th *Thread) {
+					acc := uint64(i + 1)
+					for k := 0; k < b.N; k++ {
+						// A dash of host CPU per simulated microsecond so
+						// the window scaling has real work to parallelize.
+						for w := 0; w < 64; w++ {
+							acc ^= acc << 13
+							acc ^= acc >> 7
+							acc ^= acc << 17
+						}
+						th.Advance(Microsecond)
+					}
+					sink[i] = acc
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			s.Run()
+		})
+	}
+}

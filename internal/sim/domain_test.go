@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// lookL is the cross-domain lookahead used throughout the domain tests.
+const lookL = 10 * Microsecond
+
+// buildPingPong wires two domains that ping-pong `rounds` messages and
+// returns the scheduler plus the two threads.
+func buildPingPong(rounds int, workers int) (*Scheduler, *Thread, *Thread) {
+	s := NewScheduler()
+	s.SetLookahead(lookL)
+	s.SetWorkers(workers)
+	da := s.NewDomain("machine-a")
+	db := s.NewDomain("machine-b")
+	var a, b *Thread
+	a = da.Spawn("a", 0, func(th *Thread) {
+		for i := 0; i < rounds; i++ {
+			th.Post(b, th.Now()+lookL)
+			th.Block()
+		}
+	})
+	b = db.Spawn("b", 0, func(th *Thread) {
+		for i := 0; i < rounds; i++ {
+			th.Block()
+			th.Advance(3 * Microsecond)
+			th.Post(a, th.Now()+lookL)
+		}
+	})
+	return s, a, b
+}
+
+func TestDomainPingPongExactTimes(t *testing.T) {
+	// Hand-computed: each round costs 10µs (a→b flight) + 3µs (b's work) +
+	// 10µs (b→a flight) = 23µs of a's clock; b retires one flight earlier.
+	s, a, b := buildPingPong(3, 1)
+	if end := s.Run(); end != 69*Microsecond {
+		t.Fatalf("makespan %v, want 69µs", end)
+	}
+	if a.Now() != 69*Microsecond || b.Now() != 59*Microsecond {
+		t.Fatalf("final clocks a=%v b=%v, want 69µs/59µs", a.Now(), b.Now())
+	}
+}
+
+func TestDomainWorkerCountInvariance(t *testing.T) {
+	// The same multi-domain model must produce bit-identical virtual times
+	// at every worker count: workers change host parallelism only.
+	type outcome struct {
+		End    Time
+		Clocks []Time
+		Switch int64
+	}
+	run := func(workers int) outcome {
+		const domains, hops = 4, 16
+		s := NewScheduler()
+		s.SetLookahead(lookL)
+		s.SetWorkers(workers)
+		ring := make([]*Thread, domains)
+		var locals []*Thread
+		for i := 0; i < domains; i++ {
+			i := i
+			dm := s.NewDomain(fmt.Sprintf("m%d", i))
+			// Token ring: domain i handles every hop h with h%domains == i,
+			// charging a per-domain cost before forwarding the token.
+			ring[i] = dm.Spawn(fmt.Sprintf("ring-%d", i), 0, func(th *Thread) {
+				for h := i; h < hops; h += domains {
+					if h > 0 {
+						th.Block()
+					}
+					th.Advance(Time(i+1) * Microsecond)
+					if h+1 < hops {
+						th.Post(ring[(i+1)%domains], th.Now()+lookL)
+					}
+				}
+			})
+			// A local pair exercises same-domain Block/Unblock inside the
+			// parallel windows.
+			waiter := dm.Spawn(fmt.Sprintf("waiter-%d", i), 0, func(th *Thread) {
+				th.Block()
+				th.Advance(Microsecond)
+			})
+			locals = append(locals, waiter,
+				dm.Spawn(fmt.Sprintf("waker-%d", i), 0, func(th *Thread) {
+					th.Advance(Time(7*(i+1)) * Microsecond)
+					waiter.Unblock(th.Now())
+				}))
+		}
+		end := s.Run()
+		var clocks []Time
+		for _, th := range append(append([]*Thread{}, ring...), locals...) {
+			clocks = append(clocks, th.Now())
+		}
+		return outcome{End: end, Clocks: clocks, Switch: s.Switches()}
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d diverged from workers=1:\n got %+v\nwant %+v", w, got, base)
+		}
+	}
+	// The ring's final hop lands on domain hops%domains; sanity-check the
+	// makespan is nonzero and every thread retired.
+	if base.End == 0 {
+		t.Fatal("ring produced zero makespan")
+	}
+}
+
+func TestPostToBusyThreadWaitsAtItsBlock(t *testing.T) {
+	// Mail can "arrive" while the target is still running: the wake must
+	// rendezvous at max(block time, arrival time), exactly like a receive
+	// that was posted early. Also exercises window-edge parking: b crosses
+	// several horizons before it ever blocks.
+	s := NewScheduler()
+	s.SetLookahead(lookL)
+	s.SetWorkers(2)
+	db := s.NewDomain("busy")
+	da := s.NewDomain("poster")
+	b := db.Spawn("busy", 0, func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Advance(10 * Microsecond)
+		}
+		th.Block() // the early mail wakes us here, at our own clock
+	})
+	da.Spawn("poster", 0, func(th *Thread) {
+		th.Advance(Microsecond)
+		th.Post(b, th.Now()+lookL) // arrives at 11µs, long before b blocks
+	})
+	if end := s.Run(); end != 100*Microsecond {
+		t.Fatalf("makespan %v, want 100µs", end)
+	}
+	if b.Now() != 100*Microsecond {
+		t.Fatalf("busy thread woke at %v, want its own block time 100µs", b.Now())
+	}
+}
+
+func TestPostLookaheadUndercutPanics(t *testing.T) {
+	s := NewScheduler()
+	s.SetLookahead(lookL)
+	da := s.NewDomain("a")
+	db := s.NewDomain("b")
+	var got any
+	tgt := db.Spawn("target", 0, func(th *Thread) {
+		th.Advance(Microsecond)
+	})
+	da.Spawn("cheater", 0, func(th *Thread) {
+		defer func() { got = recover() }()
+		th.Post(tgt, th.Now()+lookL-1)
+	})
+	s.Run()
+	msg, ok := got.(string)
+	if !ok || !strings.Contains(msg, "undercuts lookahead") {
+		t.Fatalf("expected lookahead-undercut panic, got %v", got)
+	}
+}
+
+func TestMultiDomainRequiresLookahead(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic: multi-domain Run without SetLookahead")
+		}
+	}()
+	s := NewScheduler()
+	s.NewDomain("a").Spawn("a", 0, func(th *Thread) { th.Advance(Microsecond) })
+	s.NewDomain("b").Spawn("b", 0, func(th *Thread) { th.Advance(Microsecond) })
+	s.Run()
+}
+
+func TestMultiDomainDeadlockListsAllDomains(t *testing.T) {
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "stuck-a") || !strings.Contains(msg, "stuck-b") {
+			t.Fatalf("expected deadlock panic naming both threads, got %v", r)
+		}
+	}()
+	s := NewScheduler()
+	s.SetLookahead(lookL)
+	s.NewDomain("a").Spawn("stuck-a", 0, func(th *Thread) { th.Block() })
+	s.NewDomain("b").Spawn("stuck-b", 0, func(th *Thread) { th.Block() })
+	s.Run()
+}
+
+func TestComputeOnlyDomainsFinish(t *testing.T) {
+	// Domains that never exchange mail still window correctly and the
+	// makespan is the max across domains.
+	s := NewScheduler()
+	s.SetLookahead(lookL)
+	s.SetWorkers(4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.NewDomain(fmt.Sprintf("m%d", i)).Spawn(fmt.Sprintf("c%d", i), 0, func(th *Thread) {
+			for k := 0; k <= i*10; k++ {
+				th.Advance(Microsecond)
+			}
+		})
+	}
+	if end := s.Run(); end != 31*Microsecond {
+		t.Fatalf("makespan %v, want 31µs", end)
+	}
+}

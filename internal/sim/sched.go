@@ -1,19 +1,44 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Scheduler interleaves a set of simulated threads in virtual-time order.
 //
-// Exactly one simulated thread executes real Go code at any moment (baton
-// passing over channels), so shared simulator state needs no locking and
-// every run is deterministic. Whenever the running thread's clock moves more
-// than one quantum ahead of another runnable thread, it yields and the
-// scheduler resumes the thread that is furthest behind. Ties break by spawn
-// order.
+// Within a domain exactly one simulated thread executes real Go code at any
+// moment (baton passing over channels), so shared simulator state needs no
+// locking and every run is deterministic. Whenever the running thread's
+// clock moves more than one quantum ahead of another runnable thread, it
+// yields and the scheduler resumes the thread that is furthest behind. Ties
+// break by spawn order.
+//
+// The core is event-driven: each domain keeps its runnable threads in an
+// indexed min-heap ordered by (clock, spawn index), so the yield check is an
+// O(1) comparison against the heap root and picking the next thread is an
+// O(log n) pop. The baton passes directly from the yielding thread to the
+// next one — two channel operations per switch — without round-tripping
+// through Run's loop, and a thread that is the only runnable one just keeps
+// running (skip-ahead: the empty-heap check never parks it).
+//
+// Threads spawned through Scheduler.Spawn share one default domain and
+// behave exactly as a single sequential scheduler. NewDomain adds further
+// domains — one per simulated machine — which advance concurrently under a
+// conservative lookahead window; see domain.go.
 type Scheduler struct {
 	threads []*Thread
+	domains []*domain
+	def     *domain // lazily-created target of Scheduler.Spawn
 	quantum Time
 	started bool
+
+	// Conservative parallel execution (multi-domain runs only).
+	lookahead Time // minimum cross-domain message latency
+	workers   int  // host goroutines draining domains inside a window
+	pending   []mail
+	workCh    chan windowJob
+	ackCh     chan struct{}
 }
 
 // DefaultQuantum is the scheduling hysteresis: a running thread yields only
@@ -21,6 +46,11 @@ type Scheduler struct {
 // non-zero quantum keeps interleaving faithful at microsecond granularity
 // while avoiding a real context switch per simulated memory access.
 const DefaultQuantum = 2 * Microsecond
+
+// horizonMax is the open window used for single-domain runs: no thread ever
+// parks at the window edge, so the sequential schedule is identical to the
+// classic one-baton scheduler.
+const horizonMax = Time(1<<63 - 1)
 
 // NewScheduler returns an empty scheduler with the default quantum.
 func NewScheduler() *Scheduler {
@@ -34,98 +64,162 @@ func (s *Scheduler) SetQuantum(q Time) { s.quantum = q }
 // Spawn registers a new simulated thread running fn, starting at virtual
 // time `start`. It may be called before Run or by an already-running
 // simulated thread (in which case the new thread typically starts at the
-// spawner's current time).
+// spawner's current time). Threads spawned here share the scheduler's
+// default domain; use NewDomain for multi-machine parallel runs.
 func (s *Scheduler) Spawn(name string, start Time, fn func(*Thread)) *Thread {
+	if s.def == nil {
+		s.def = s.addDomain("main")
+	}
+	return s.def.spawn(name, start, fn)
+}
+
+// spawn registers a thread in domain d. The heap insert puts it in correct
+// virtual-time position immediately, so a thread spawned mid-run with an
+// earlier start time preempts at the spawner's next yield check.
+func (d *domain) spawn(name string, start Time, fn func(*Thread)) *Thread {
+	s := d.s
 	t := &Thread{
 		name:   name,
 		now:    start,
 		sched:  s,
 		index:  len(s.threads),
 		state:  stateReady,
+		hpos:   -1,
+		dom:    d,
 		resume: make(chan struct{}),
-		parked: make(chan struct{}),
 	}
 	s.threads = append(s.threads, t)
+	d.nLive++
+	d.push(t)
 	go func() {
 		<-t.resume
+		t.state = stateRunning
 		fn(t)
-		t.state = stateDone
-		t.parked <- struct{}{}
+		d.finish(t)
 	}()
 	return t
 }
 
+// finish retires a completed thread and hands the baton onward.
+func (d *domain) finish(t *Thread) {
+	t.state = stateDone
+	d.nLive--
+	d.maxFinish = MaxTime(d.maxFinish, t.now)
+	d.stop(t, false, true)
+}
+
+// stop is the single baton-handoff point, called by the running thread when
+// it gives up control: quantum yield, window edge, block, or completion. If
+// ready, the thread re-enters the ready heap first (so it is a handoff
+// candidate for itself only through heap order). The baton goes directly to
+// the next runnable thread inside the window — one channel send — or back
+// to the domain driver when none remains. Unless done, the caller then
+// parks until some thread (or the driver) passes the baton back.
+//
+// All heap and state mutations happen before the channel send, and after
+// sending the stopping thread only receives on its own resume channel (or
+// returns), so the happens-before chain runs entirely through channel
+// operations.
+func (d *domain) stop(t *Thread, ready, done bool) {
+	if ready {
+		t.state = stateReady
+		d.push(t)
+	}
+	d.switches++
+	if n := d.peek(); n != nil && n.now < d.horizon {
+		d.pop()
+		n.resume <- struct{}{}
+	} else {
+		d.wake <- struct{}{}
+	}
+	if done {
+		return
+	}
+	<-t.resume
+	t.state = stateRunning
+}
+
 // Run drives all spawned threads to completion and returns the maximum
-// finish time (the virtual makespan). It panics if all remaining threads are
-// blocked (a simulated deadlock) — that is always a bug in the model.
+// finish time (the virtual makespan), tracked per domain as threads retire
+// rather than rescanned from the thread table. It panics if all remaining
+// threads are blocked (a simulated deadlock) — that is always a bug in the
+// model — and the panic lists every blocked thread.
 func (s *Scheduler) Run() Time {
 	if s.started {
 		panic("sim: Scheduler.Run called twice")
 	}
 	s.started = true
-	for {
-		t := s.pickReady()
-		if t == nil {
-			for _, u := range s.threads {
-				if u.state == stateBlocked {
-					panic("sim: deadlock, thread blocked forever: " + u.name)
-				}
-			}
-			break
-		}
-		t.state = stateRunning
-		t.resume <- struct{}{}
-		<-t.parked
+	switch len(s.domains) {
+	case 0:
+		// Nothing was ever spawned.
+	case 1:
+		s.domains[0].runWindow(horizonMax)
+	default:
+		s.runWindows()
 	}
 	var end Time
-	for _, u := range s.threads {
-		end = MaxTime(end, u.now)
+	live := 0
+	for _, d := range s.domains {
+		end = MaxTime(end, d.maxFinish)
+		live += d.nLive
+	}
+	if live > 0 {
+		s.deadlock()
 	}
 	return end
 }
 
-// pickReady returns the runnable thread with the smallest clock, or nil.
-func (s *Scheduler) pickReady() *Thread {
-	var best *Thread
+// deadlock reports every blocked thread. Cold path: the scan over the
+// thread table only happens when the simulation is already broken.
+func (s *Scheduler) deadlock() {
+	var blocked []string
 	for _, t := range s.threads {
-		if t.state != stateReady {
-			continue
-		}
-		if best == nil || t.now < best.now {
-			best = t
+		if t.state == stateBlocked {
+			blocked = append(blocked, t.name)
 		}
 	}
-	return best
+	panic("sim: deadlock, threads blocked forever: " + strings.Join(blocked, ", "))
 }
 
-// maybeYield parks the running thread if another runnable thread has fallen
-// more than a quantum behind it.
+// runWindow resumes the domain's threads in virtual-time order until no
+// runnable thread remains below horizon h. A running thread may overshoot h
+// by the tail of its final Advance before parking at its next yield check —
+// bounded overshoot, the same hysteresis the quantum already allows.
+func (d *domain) runWindow(h Time) {
+	d.horizon = h
+	n := d.peek()
+	if n == nil || n.now >= h {
+		return
+	}
+	d.pop()
+	n.resume <- struct{}{}
+	<-d.wake
+}
+
+// maybeYield parks the running thread if it crossed the window horizon or
+// if another runnable thread has fallen more than a quantum behind it. The
+// heap root is the furthest-behind runnable thread, so one comparison
+// decides; skip-ahead falls out of the same check — with an empty heap (the
+// thread is the only runnable one) it never parks.
 func (s *Scheduler) maybeYield(t *Thread) {
 	if t.state != stateRunning {
 		return
 	}
-	behind := false
-	for _, u := range s.threads {
-		if u != t && u.state == stateReady && u.now+s.quantum < t.now {
-			behind = true
-			break
+	d := t.dom
+	if t.now < d.horizon {
+		n := d.peek()
+		if n == nil || n.now+s.quantum >= t.now {
+			return
 		}
 	}
-	if !behind {
-		return
-	}
-	t.state = stateReady
-	t.parked <- struct{}{}
-	<-t.resume
-	t.state = stateRunning
+	d.stop(t, true, false)
 }
 
 // block parks t until some other thread unblocks it.
 func (s *Scheduler) block(t *Thread) {
 	t.state = stateBlocked
-	t.parked <- struct{}{}
-	<-t.resume
-	t.state = stateRunning
+	t.dom.nBlocked++
+	t.dom.stop(t, false, false)
 }
 
 // unblock makes u runnable with its clock advanced to at least `at`.
@@ -137,6 +231,20 @@ func (s *Scheduler) unblock(u *Thread, at Time) {
 		u.now = at
 	}
 	u.state = stateReady
+	u.dom.nBlocked--
+	u.dom.push(u)
+}
+
+// Switches returns the total number of baton handoffs performed so far
+// (context switches plus terminal parks), summed over all domains. It
+// exists for tests and benchmarks that pin down the skip-ahead and direct
+// handoff behavior.
+func (s *Scheduler) Switches() int64 {
+	var n int64
+	for _, d := range s.domains {
+		n += d.switches
+	}
+	return n
 }
 
 // RunParallel is a convenience wrapper: it runs n simulated threads created

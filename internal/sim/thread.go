@@ -11,11 +11,11 @@ type Thread struct {
 	sched *Scheduler
 
 	// Scheduler bookkeeping (nil scheduler ⇒ unused).
-	index   int
-	state   threadState
-	resume  chan struct{}
-	parked  chan struct{}
-	blocked bool
+	index  int // global spawn index: the deterministic tie-break
+	hpos   int // position in the domain's ready heap (-1 = not queued)
+	state  threadState
+	dom    *domain // owning execution domain
+	resume chan struct{}
 }
 
 type threadState int
@@ -65,9 +65,10 @@ func (t *Thread) AdvanceTo(ts Time) {
 // AdvanceNs charges a floating-point nanosecond cost.
 func (t *Thread) AdvanceNs(ns float64) { t.Advance(FromNs(ns)) }
 
-// Block parks the thread until another simulated thread calls Unblock. The
-// thread's clock is advanced to the wake-up time supplied by the unblocker.
-// Block panics on a standalone thread (nothing could ever wake it).
+// Block parks the thread until another simulated thread calls Unblock (same
+// domain) or Post (any domain). The thread's clock is advanced to the
+// wake-up time supplied by the unblocker. Block panics on a standalone
+// thread (nothing could ever wake it).
 func (t *Thread) Block() {
 	if t.sched == nil {
 		panic("sim: Block on standalone thread " + t.name)
@@ -77,7 +78,8 @@ func (t *Thread) Block() {
 
 // Unblock marks a blocked thread runnable again, with its clock advanced to
 // at least `at`. It must be called from another simulated thread (or from
-// scheduler-driven code) of the same scheduler.
+// scheduler-driven code) of the same scheduler and the same domain; use
+// Thread.Post for cross-domain wakes.
 func (t *Thread) Unblock(at Time) {
 	if t.sched == nil {
 		panic("sim: Unblock on standalone thread " + t.name)
